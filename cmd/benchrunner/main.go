@@ -1,0 +1,144 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation section against the simulated substrate.
+//
+// Usage:
+//
+//	benchrunner -exp all                 # everything at quick effort
+//	benchrunner -exp table3 -full        # one experiment at paper-scale effort
+//	benchrunner -exp fig1,fig5 -seed 7
+//
+// Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/eval"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		full    = flag.Bool("full", false, "paper-scale effort (slow)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	effort := eval.QuickEffort(*seed)
+	if *full {
+		effort = eval.FullEffort(*seed)
+	}
+
+	selected := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation"} {
+			selected[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			selected[strings.TrimSpace(e)] = true
+		}
+	}
+
+	run := func(name, title string, fn func() (string, error)) {
+		if !selected[name] {
+			return
+		}
+		fmt.Printf("\n=== %s — %s ===\n", strings.ToUpper(name), title)
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", "benchmark specifications", func() (string, error) {
+		t := eval.Table1(effort.Seed)
+		return t.String(), nil
+	})
+	run("fig1", "n-sigma rule degradation with scale", func() (string, error) {
+		rows, err := eval.Fig1(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderFig1(rows), nil
+	})
+	run("fig3", "span duration CDF", func() (string, error) {
+		s, err := eval.Fig3(effort)
+		if err != nil {
+			return "", err
+		}
+		return s.String(), nil
+	})
+	run("table3", "RCA accuracy comparison", func() (string, error) {
+		res, err := eval.Table3(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderTable3(res), nil
+	})
+	run("fig5", "training/inference scaling", func() (string, error) {
+		rows, err := eval.Fig5(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderFig5(rows), nil
+	})
+	run("fig6", "service updates", func() (string, error) {
+		points, err := eval.Fig6(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderFig6(points), nil
+	})
+	run("fig7", "transfer learning", func() (string, error) {
+		points, err := eval.Fig7(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderFig7(points), nil
+	})
+	run("fig8", "semantic sensitivity", func() (string, error) {
+		points, err := eval.Fig8(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderFig8(points), nil
+	})
+	run("instances", "instance-level (service/pod/node) accuracy", func() (string, error) {
+		il, err := eval.InstanceTable(effort)
+		if err != nil {
+			return "", err
+		}
+		return eval.RenderInstanceLevel(il), nil
+	})
+	run("ablation", "design-choice ablations", func() (string, error) {
+		var b strings.Builder
+		dmax, err := eval.AblationDmax(effort)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("d_max ancestor window:\n")
+		b.WriteString(eval.RenderAblationDmax(dmax))
+		win, err := eval.AblationClippedReLU(effort)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("\nEq. 2 aggregation window:\n")
+		b.WriteString(eval.RenderAblationWindow(win))
+		epsRows, err := eval.AblationEpsilon(effort)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("\nHDBSCAN selection epsilon:\n")
+		b.WriteString(eval.RenderAblationEpsilon(epsRows))
+		return b.String(), nil
+	})
+}

@@ -1,0 +1,54 @@
+// Command collector runs the HTTP trace collector (§4): it accepts
+// OTLP-style, Zipkin-style and Jaeger-style JSON on the standard endpoint
+// paths and persists the spans to a JSONL file on shutdown or on demand.
+//
+// Usage:
+//
+//	collector -addr :4318 -out spans.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/collector"
+	"github.com/sleuth-rca/sleuth/internal/store"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":4318", "listen address")
+		out  = flag.String("out", "spans.jsonl", "spans JSONL written on shutdown")
+	)
+	flag.Parse()
+
+	st := store.New()
+	col := collector.New(st)
+	srv := &http.Server{Addr: *addr, Handler: col.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		fmt.Printf("collector listening on %s (POST /v1/traces, /api/v2/spans, /api/traces)\n", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "collector: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	<-done
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := st.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "collector: saving spans: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved %d spans (%d traces) to %s\n", st.SpanCount(), st.TraceCount(), *out)
+}

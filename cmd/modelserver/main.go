@@ -1,0 +1,50 @@
+// Command modelserver runs the centralized model server of §4: an HTTP
+// registry maintaining the life cycle of trained Sleuth models — publish,
+// fetch (latest or pinned version), lineage, retire.
+//
+// Usage:
+//
+//	modelserver -addr :8500 -dir ./models
+//
+// API:
+//
+//	GET  /models                          list all versions (JSON)
+//	POST /models/{name}?trainedOn=...&parent={name}@{ver}   publish gob blob
+//	GET  /models/{name}/latest            newest non-retired blob
+//	GET  /models/{name}/{version}         pinned blob
+//	GET  /models/{name}/{version}/lineage ancestry (JSON)
+//	POST /models/{name}/{version}/retire  retire a version
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/modelserver"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8500", "listen address")
+		dir  = flag.String("dir", "models", "registry directory")
+	)
+	flag.Parse()
+	reg, err := modelserver.Open(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           (&modelserver.Server{Registry: reg}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("model server listening on %s (registry %s, %d models)\n", *addr, *dir, len(reg.List()))
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+		os.Exit(1)
+	}
+}

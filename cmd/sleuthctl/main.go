@@ -1,0 +1,187 @@
+// Command sleuthctl drives the Sleuth pipeline against stored traces:
+//
+//	sleuthctl train   -traces spans.jsonl -model model.gob [-epochs 5]
+//	sleuthctl rca     -traces incident.jsonl -normal spans.jsonl -model model.gob
+//	sleuthctl cluster -traces incident.jsonl
+//	sleuthctl ops     -traces spans.jsonl      # per-operation statistics
+//
+// Trace files are span JSONL as written by tracegen or the collector.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	sleuth "github.com/sleuth-rca/sleuth"
+	"github.com/sleuth-rca/sleuth/internal/cluster"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "rca":
+		err = cmdRCA(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "ops":
+		err = cmdOps(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sleuthctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops> [flags]")
+	os.Exit(2)
+}
+
+func loadTraces(path string) ([]*trace.Trace, error) {
+	st := store.New()
+	if err := st.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return st.Traces(store.Query{}), nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	tracesPath := fs.String("traces", "", "training spans JSONL (required)")
+	modelPath := fs.String("model", "model.gob", "output model path")
+	epochs := fs.Int("epochs", 5, "training epochs")
+	lr := fs.Float64("lr", 1e-3, "learning rate")
+	seed := fs.Uint64("seed", 1, "training seed")
+	_ = fs.Parse(args)
+	if *tracesPath == "" {
+		return fmt.Errorf("train: -traces is required")
+	}
+	traces, err := loadTraces(*tracesPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d traces...\n", len(traces))
+	m, err := sleuth.Train(traces, sleuth.TrainConfig{Epochs: *epochs, LearningRate: *lr, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if err := sleuth.SaveModel(*modelPath, m); err != nil {
+		return err
+	}
+	fmt.Printf("saved model (%d parameters, %d known operations) to %s\n",
+		m.NumParams(), m.NormalsSize(), *modelPath)
+	return nil
+}
+
+func cmdRCA(args []string) error {
+	fs := flag.NewFlagSet("rca", flag.ExitOnError)
+	tracesPath := fs.String("traces", "", "anomalous spans JSONL (required)")
+	normalPath := fs.String("normal", "", "normal spans JSONL for SLO calibration")
+	modelPath := fs.String("model", "model.gob", "trained model path")
+	_ = fs.Parse(args)
+	if *tracesPath == "" {
+		return fmt.Errorf("rca: -traces is required")
+	}
+	m, err := sleuth.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	analyzer := sleuth.NewAnalyzer(m)
+	if *normalPath != "" {
+		normal, err := loadTraces(*normalPath)
+		if err != nil {
+			return err
+		}
+		m.SetNormals(normal)
+		analyzer.SetSLOs(sleuth.SLOs(normal))
+	}
+	traces, err := loadTraces(*tracesPath)
+	if err != nil {
+		return err
+	}
+	var anomalous []*trace.Trace
+	for _, tr := range traces {
+		if analyzer.IsAnomalous(tr) {
+			anomalous = append(anomalous, tr)
+		}
+	}
+	fmt.Printf("%d of %d traces anomalous\n", len(anomalous), len(traces))
+	report := analyzer.Analyze(anomalous)
+	fmt.Printf("%d diagnoses from %d GNN inferences:\n", len(report.Diagnoses), report.Inferences)
+	for _, d := range report.Diagnoses {
+		label := fmt.Sprintf("cluster %d", d.ClusterID)
+		if d.ClusterID < 0 {
+			label = "unclustered"
+		}
+		fmt.Printf("  %-12s traces=%-4d root causes: services=%v pods=%v nodes=%v\n",
+			label, len(d.TraceIDs), d.Services, d.Pods, d.Nodes)
+	}
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	tracesPath := fs.String("traces", "", "spans JSONL (required)")
+	minSize := fs.Int("min-cluster-size", 4, "HDBSCAN min cluster size")
+	minSamples := fs.Int("min-samples", 2, "HDBSCAN min samples")
+	eps := fs.Float64("epsilon", 0.1, "HDBSCAN selection epsilon")
+	dmax := fs.Int("dmax", cluster.DefaultMaxAncestors, "ancestor window of span identifiers")
+	_ = fs.Parse(args)
+	if *tracesPath == "" {
+		return fmt.Errorf("cluster: -traces is required")
+	}
+	traces, err := loadTraces(*tracesPath)
+	if err != nil {
+		return err
+	}
+	sets := cluster.TraceSets(traces, *dmax)
+	m := cluster.Pairwise(sets)
+	labels := cluster.HDBSCAN(m, cluster.Options{
+		MinClusterSize: *minSize, MinSamples: *minSamples, SelectionEpsilon: *eps,
+	})
+	medoids := cluster.Medoids(m, labels)
+	fmt.Printf("clustered %d traces: %s\n", len(traces), cluster.Summary(labels))
+	var ids []int
+	for l := range medoids {
+		ids = append(ids, l)
+	}
+	sort.Ints(ids)
+	for _, l := range ids {
+		rep := traces[medoids[l]]
+		fmt.Printf("  cluster %d representative: %s (%d spans, %dµs, errors=%v)\n",
+			l, rep.TraceID, rep.Len(), rep.RootDuration(), rep.HasError())
+	}
+	return nil
+}
+
+func cmdOps(args []string) error {
+	fs := flag.NewFlagSet("ops", flag.ExitOnError)
+	tracesPath := fs.String("traces", "", "spans JSONL (required)")
+	_ = fs.Parse(args)
+	if *tracesPath == "" {
+		return fmt.Errorf("ops: -traces is required")
+	}
+	st := store.New()
+	if err := st.LoadFile(*tracesPath); err != nil {
+		return err
+	}
+	fmt.Printf("%-60s %8s %10s %10s %10s %7s\n", "operation", "count", "median", "p95", "p99", "err%")
+	for _, s := range st.OpSummaries() {
+		op := strings.ReplaceAll(s.OpKey, "\x1f", " ")
+		fmt.Printf("%-60s %8d %9.0fµ %9.0fµ %9.0fµ %6.2f%%\n",
+			op, s.Count, s.Median, s.P95, s.P99, s.ErrorRate*100)
+	}
+	return nil
+}

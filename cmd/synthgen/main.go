@@ -1,0 +1,71 @@
+// Command synthgen generates synthetic microservice benchmark
+// configurations (§5) and writes them as JSON for the simulator and the
+// other tools.
+//
+// Usage:
+//
+//	synthgen -rpcs 256 -seed 7 -out syn256.json
+//	synthgen -preset sockshop -out sockshop.json
+//	synthgen -rpcs 64 -spec            # print the Table-1 style spec only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sleuth-rca/sleuth/internal/synth"
+)
+
+func main() {
+	var (
+		rpcs     = flag.Int("rpcs", 64, "number of RPCs in the generated app")
+		services = flag.Int("services", 0, "number of services (default rpcs/4)")
+		depth    = flag.Int("depth", 0, "max call depth (default by size)")
+		flows    = flag.Int("flows", 4, "number of operation flows")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		preset   = flag.String("preset", "", "preset app: sockshop | socialnetwork")
+		out      = flag.String("out", "", "output JSON path (default stdout summary only)")
+		spec     = flag.Bool("spec", false, "print the Table-1 style specification")
+	)
+	flag.Parse()
+
+	var app *synth.App
+	switch *preset {
+	case "sockshop":
+		app = synth.SockShopLike(*seed)
+	case "socialnetwork":
+		app = synth.SocialNetworkLike(*seed)
+	case "":
+		if *depth > 0 || *services > 0 {
+			app = synth.Generate(synth.Params{
+				NumRPCs:      *rpcs,
+				NumServices:  *services,
+				MaxCallDepth: *depth,
+				NumFlows:     *flows,
+				Seed:         *seed,
+			})
+		} else {
+			app = synth.Synthetic(*rpcs, *seed)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "synthgen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	s := app.Spec()
+	fmt.Printf("generated %s: services=%d rpcs=%d maxSpans=%d maxDepth=%d maxOutDegree=%d\n",
+		s.Name, s.Services, s.RPCs, s.MaxSpans, s.MaxDepth, s.MaxOutDegree)
+	if *spec {
+		for i, svc := range app.Services {
+			fmt.Printf("  service %2d: %-28s tier=%-10s pod=%s node=%s\n", i, svc.Name, svc.Tier, svc.Pod, svc.Node)
+		}
+	}
+	if *out != "" {
+		if err := app.SaveJSON(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,76 @@
+// Command tracegen simulates traffic against a generated application and
+// writes the resulting traces as JSONL spans — the offline equivalent of
+// the Kubernetes deployment plus collector pipeline. Optionally it injects
+// a random chaos plan and reports the ground-truth root causes.
+//
+// Usage:
+//
+//	tracegen -app syn64.json -n 1000 -out spans.jsonl
+//	tracegen -app syn64.json -n 200 -chaos -chaos-seed 7 -out incident.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sleuth-rca/sleuth/internal/chaos"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+func main() {
+	var (
+		appPath   = flag.String("app", "", "application JSON from synthgen (required)")
+		n         = flag.Int("n", 100, "number of requests to simulate")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		firstID   = flag.Int("first", 0, "first request ID (controls determinism window)")
+		out       = flag.String("out", "", "output spans JSONL path (required)")
+		withChaos = flag.Bool("chaos", false, "inject a random fault plan")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault plan seed")
+	)
+	flag.Parse()
+	if *appPath == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	app, err := synth.LoadJSON(*appPath)
+	if err != nil {
+		fatal(err)
+	}
+	s := sim.New(app, sim.DefaultOptions(*seed))
+
+	var inj *chaos.Injector
+	if *withChaos {
+		plan := chaos.GeneratePlan(app, chaos.DefaultPlanParams(), xrand.New(*chaosSeed))
+		inj = chaos.NewInjector(app, plan)
+		fmt.Printf("injected %d faults:\n", len(plan.Faults))
+		for _, f := range plan.Faults {
+			fmt.Printf("  %s\n", f.String())
+		}
+	}
+	results, err := s.RunWithInjector(*firstID, *n, inj)
+	if err != nil {
+		fatal(err)
+	}
+	st := store.New()
+	errored := 0
+	for _, r := range results {
+		st.AddTrace(r.Trace)
+		if r.Errored {
+			errored++
+		}
+	}
+	if err := st.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d traces (%d spans, %d with errors) to %s\n",
+		st.TraceCount(), st.SpanCount(), errored, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Incident triage on a SocialNetwork-like application: a multi-fault
+// outage (a node-level CPU fault plus a network fault on a storage
+// service) floods the pipeline with anomalous traces; clustering separates
+// the failure modes so each gets one diagnosis — the paper's production
+// scenario (§3.3).
+//
+//	go run ./examples/incident
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sleuth "github.com/sleuth-rca/sleuth"
+	"github.com/sleuth-rca/sleuth/internal/chaos"
+)
+
+func main() {
+	app := sleuth.NewSocialNetworkApp(7)
+	fmt.Printf("app %q: %d services across %d nodes\n", app.Name, len(app.Services), len(app.Nodes))
+
+	world := sleuth.NewWorld(app, 7)
+	normal, err := world.SimulateNormal(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Production training data contains unlabeled incidents; mix some in.
+	warmup, err := world.SimulateIncident(nil, 40, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := append(append([]*sleuth.Trace{}, normal...), warmup.Traces...)
+	model, err := sleuth.Train(train, sleuth.TrainConfig{
+		EmbeddingDim: 16, Hidden: 32, Epochs: 4, LearningRate: 3e-3, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.SetNormals(normal)
+
+	// The outage: two simultaneous, unrelated faults.
+	victimA := app.Services[app.ServiceAtCallDepth(1)]
+	victimB := "post-storage-mongodb"
+	plan := &sleuth.FaultPlan{}
+	*plan = *mustPlan(world, chaos.Fault{
+		Type: chaos.FaultCPU, Level: chaos.LevelNode, Target: victimA.Node, SlowFactor: 25,
+	}, chaos.Fault{
+		Type: chaos.FaultNetwork, Level: chaos.LevelContainer, Target: victimB,
+		NetLatencyMicros: 300_000, ErrorProb: 0.4,
+	})
+	incident, err := world.SimulateIncident(plan, 120, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outage: node-level CPU fault on %s + network fault on %s\n", victimA.Node, victimB)
+
+	analyzer := sleuth.NewAnalyzer(model)
+	analyzer.SetSLOs(sleuth.SLOs(normal))
+	var anomalous []*sleuth.Trace
+	for _, tr := range incident.Traces {
+		if analyzer.IsAnomalous(tr) {
+			anomalous = append(anomalous, tr)
+		}
+	}
+	fmt.Printf("%d/%d traces anomalous during the incident\n", len(anomalous), len(incident.Traces))
+
+	report := analyzer.Analyze(anomalous)
+	fmt.Printf("triage: %d failure modes from %d GNN inferences (%.1fx fewer than per-trace RCA)\n",
+		len(report.Diagnoses), report.Inferences, float64(len(anomalous))/float64(max(report.Inferences, 1)))
+	for _, d := range report.Diagnoses {
+		fmt.Printf("  mode %2d (%3d traces): services=%v nodes=%v\n",
+			d.ClusterID, len(d.TraceIDs), d.Services, d.Nodes)
+	}
+}
+
+func mustPlan(world *sleuth.World, faults ...chaos.Fault) *sleuth.FaultPlan {
+	// Node-level and explicit-target faults bypass InjectFault's
+	// service-name validation.
+	return chaos.NewPlan(world.App, faults...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module github.com/sleuth-rca/sleuth
+
+go 1.22

@@ -1,0 +1,141 @@
+package sleuth
+
+// End-to-end integration test across subsystems: simulated services report
+// spans to the HTTP collector in all three wire formats, the storage
+// engine assembles and indexes them, a model is trained, published to the
+// model server, fetched back by an "inference worker", and used to
+// diagnose an injected incident — the paper's §4 deployment in one test.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/chaos"
+	"github.com/sleuth-rca/sleuth/internal/collector"
+	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/modelserver"
+	"github.com/sleuth-rca/sleuth/internal/otel"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+func TestIntegrationPipeline(t *testing.T) {
+	// --- Deployment: app + simulator (the K8s cluster stand-in).
+	app := NewSyntheticApp(16, 77)
+	world := NewWorld(app, 77)
+
+	// --- Collection: spans arrive over HTTP in mixed protocols.
+	st := store.New()
+	colSrv := httptest.NewServer(collector.New(st).Handler())
+	defer colSrv.Close()
+
+	normal, err := world.SimulateNormal(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoders := []struct {
+		path string
+		enc  func([]*trace.Span) ([]byte, error)
+	}{
+		{"/v1/traces", otel.EncodeOTLP},
+		{"/api/v2/spans", otel.EncodeZipkin},
+		{"/api/traces", otel.EncodeJaeger},
+	}
+	for i, tr := range normal {
+		e := encoders[i%len(encoders)]
+		payload, err := e.enc(tr.Spans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(colSrv.URL+e.path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("collector rejected %s: %d", e.path, resp.StatusCode)
+		}
+	}
+	if st.TraceCount() != 120 {
+		t.Fatalf("store has %d traces", st.TraceCount())
+	}
+
+	// --- Training worker: query the store, train, compute SLOs.
+	trainTraces := st.Traces(store.Query{})
+	if len(trainTraces) != 120 {
+		t.Fatalf("queried %d traces", len(trainTraces))
+	}
+	model, err := Train(trainTraces, TrainConfig{EmbeddingDim: 8, Hidden: 24, Epochs: 3, LearningRate: 3e-3, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slos := SLOs(trainTraces)
+
+	// --- Model server: publish, then fetch as the inference worker would.
+	reg, err := modelserver.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msSrv := httptest.NewServer((&modelserver.Server{Registry: reg}).Handler())
+	defer msSrv.Close()
+	var blob bytes.Buffer
+	if err := model.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(msSrv.URL+"/models/prod?trainedOn=synthetic-16", "application/octet-stream", &blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(msSrv.URL + "/models/prod/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	servedModel, err := core.Load(bytes.NewReader(fetched))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Incident: inject a fault, collect anomalies, diagnose with the
+	// model that travelled through the server.
+	victim := app.Services[app.ServiceAtCallDepth(1)].Name
+	plan, err := world.InjectFault(victim, Fault{Type: chaos.FaultCPU, SlowFactor: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incident, err := world.SimulateIncident(plan, 50, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer := NewAnalyzer(servedModel)
+	analyzer.SetSLOs(slos)
+	var anomalous []*Trace
+	for _, tr := range incident.Traces {
+		if analyzer.IsAnomalous(tr) {
+			anomalous = append(anomalous, tr)
+		}
+	}
+	if len(anomalous) < 3 {
+		t.Skipf("only %d anomalies surfaced", len(anomalous))
+	}
+	report := analyzer.Analyze(anomalous)
+	found := false
+	for _, d := range report.Diagnoses {
+		for _, s := range d.Services {
+			if s == victim {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pipeline failed to localise %q; diagnoses: %+v", victim, report.Diagnoses)
+	}
+	if report.Inferences > len(anomalous) {
+		t.Fatalf("clustering did not bound inferences: %d > %d", report.Inferences, len(anomalous))
+	}
+}

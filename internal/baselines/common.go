@@ -1,0 +1,102 @@
+// Package baselines implements the comparator RCA algorithms of §6.1.2:
+// the two rule-based methods used by SREs (maximum exclusive duration and
+// percentile thresholds), TraceAnomaly's VAE + three-sigma + longest-path
+// method, the Realtime RCA confidence-interval/regression method, Sage's
+// per-node variational counterfactual ensemble, and DeepTraLog's GGNN+SVDD
+// trace embedding (the clustering comparator).
+//
+// Every algorithm implements rca.Algorithm so the evaluation harness can
+// swap them freely.
+package baselines
+
+import (
+	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/stats"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// errorRootServices returns services owning spans whose errors do not
+// originate from their children — the DFS error attribution both rule-based
+// baselines share ("find instances that have errors not originating from
+// their children", §6.1.2). The trace model precomputes exclusive errors,
+// so the DFS reduces to a scan.
+func errorRootServices(tr *trace.Trace) []string {
+	set := map[string]bool{}
+	for i := range tr.Spans {
+		if tr.ExclusiveError(i) {
+			set[tr.Spans[i].Service] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// exclusiveDurationByService sums exclusive durations per service.
+func exclusiveDurationByService(tr *trace.Trace) map[string]int64 {
+	out := map[string]int64{}
+	for i, sp := range tr.Spans {
+		out[sp.Service] += tr.ExclusiveDuration(i)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// opStats accumulates per-operation duration statistics from training
+// traces; several baselines calibrate on them.
+type opStats struct {
+	byOp map[string]*stats.Welford
+	// durations retained per op for percentile queries (capped).
+	samples map[string][]float64
+	cap     int
+}
+
+func newOpStats(sampleCap int) *opStats {
+	return &opStats{
+		byOp:    map[string]*stats.Welford{},
+		samples: map[string][]float64{},
+		cap:     sampleCap,
+	}
+}
+
+func (o *opStats) add(tr *trace.Trace) {
+	for _, sp := range tr.Spans {
+		k := sp.OpKey()
+		w, ok := o.byOp[k]
+		if !ok {
+			w = &stats.Welford{}
+			o.byOp[k] = w
+		}
+		d := float64(sp.Duration())
+		w.Add(d)
+		if len(o.samples[k]) < o.cap {
+			o.samples[k] = append(o.samples[k], d)
+		}
+	}
+}
+
+// meanStd returns the mean and std of an operation's durations, with ok
+// false for unseen operations.
+func (o *opStats) meanStd(op string) (mean, std float64, ok bool) {
+	w, found := o.byOp[op]
+	if !found || w.N() == 0 {
+		return 0, 0, false
+	}
+	return w.Mean(), w.Std(), true
+}
+
+// percentile returns the p-th percentile of an operation's durations.
+func (o *opStats) percentile(op string, p float64) (float64, bool) {
+	s := o.samples[op]
+	if len(s) == 0 {
+		return 0, false
+	}
+	return stats.Percentile(s, p), true
+}

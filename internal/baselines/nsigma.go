@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"github.com/sleuth-rca/sleuth/internal/stats"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// NSigma is the rule of thumb whose collapse at scale motivates the paper
+// (Figure 1): a span is anomalous when its duration deviates more than N
+// standard deviations from its operation's mean; every service owning an
+// anomalous span is reported as a root cause (plus the error DFS).
+//
+// As traces grow, each query offers more spans a chance to cross the
+// threshold, so false positives accumulate and F1/ACC fall — the figure's
+// curve.
+type NSigma struct {
+	// N is the threshold multiplier (3 is the folk default).
+	N     float64
+	stats *opStats
+}
+
+// NewNSigma builds the rule with the given multiplier.
+func NewNSigma(n float64) *NSigma {
+	if n <= 0 {
+		n = 3
+	}
+	return &NSigma{N: n}
+}
+
+// Name implements rca.Algorithm.
+func (n *NSigma) Name() string { return "NSigma" }
+
+// Prepare implements rca.Algorithm.
+func (n *NSigma) Prepare(train []*trace.Trace) error {
+	n.stats = newOpStats(2000)
+	for _, tr := range train {
+		n.stats.add(tr)
+	}
+	return nil
+}
+
+// Localize implements rca.Algorithm.
+func (n *NSigma) Localize(tr *trace.Trace, _ float64) []string {
+	if tr.HasError() {
+		return errorRootServices(tr)
+	}
+	set := map[string]bool{}
+	for _, sp := range tr.Spans {
+		mean, std, ok := n.stats.meanStd(sp.OpKey())
+		if !ok {
+			continue
+		}
+		if stats.NSigma(float64(sp.Duration()), mean, std, n.N) {
+			set[sp.Service] = true
+		}
+	}
+	return sortedKeys(set)
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/stats"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Realtime reproduces the Realtime RCA baseline (Cai et al., §6.1.2): the
+// anomalous trace is compared against historical normal behaviour; spans
+// outside the 95% confidence interval of their operation are flagged, each
+// span's contribution to end-to-end latency variance is estimated with a
+// linear regression fitted on normal traffic, and the single most
+// significant anomalous span is reported as the root cause.
+type Realtime struct {
+	ops *opStats
+	// beta maps service → regression coefficient of the end-to-end
+	// latency on the service's exclusive duration.
+	beta map[string]float64
+	// mean exclusive duration per service on normal traffic.
+	meanExcl map[string]float64
+}
+
+// NewRealtime builds the baseline.
+func NewRealtime() *Realtime { return &Realtime{} }
+
+// Name implements rca.Algorithm.
+func (r *Realtime) Name() string { return "RealtimeRCA" }
+
+// Prepare implements rca.Algorithm: fits the variance-attribution
+// regression of root latency on per-service exclusive durations.
+func (r *Realtime) Prepare(train []*trace.Trace) error {
+	r.ops = newOpStats(2000)
+	serviceSet := map[string]bool{}
+	for _, tr := range train {
+		r.ops.add(tr)
+		for _, sp := range tr.Spans {
+			serviceSet[sp.Service] = true
+		}
+	}
+	services := sortedKeys(serviceSet)
+	idx := make(map[string]int, len(services))
+	for i, s := range services {
+		idx[s] = i
+	}
+	var x [][]float64
+	var y []float64
+	sums := make([]float64, len(services))
+	for _, tr := range train {
+		row := make([]float64, len(services))
+		for i, sp := range tr.Spans {
+			row[idx[sp.Service]] += float64(tr.ExclusiveDuration(i))
+		}
+		for i, v := range row {
+			sums[i] += v
+		}
+		x = append(x, row)
+		y = append(y, float64(tr.RootDuration()))
+	}
+	r.meanExcl = make(map[string]float64, len(services))
+	for i, s := range services {
+		r.meanExcl[s] = sums[i] / float64(len(train))
+	}
+	beta, err := stats.LinearRegression(x, y)
+	r.beta = make(map[string]float64, len(services))
+	if err != nil {
+		// Singular fit (tiny training sets): fall back to unit weights.
+		for _, s := range services {
+			r.beta[s] = 1
+		}
+		return nil
+	}
+	for i, s := range services {
+		r.beta[s] = beta[i+1]
+	}
+	return nil
+}
+
+// Localize implements rca.Algorithm.
+func (r *Realtime) Localize(tr *trace.Trace, _ float64) []string {
+	// Spans outside the 95% CI (≈ mean ± 1.96σ) of their operation.
+	type flagged struct {
+		service string
+		contrib float64
+	}
+	perService := map[string]float64{}
+	anomalousServices := map[string]bool{}
+	for i, sp := range tr.Spans {
+		mean, std, ok := r.ops.meanStd(sp.OpKey())
+		if !ok {
+			continue
+		}
+		if stats.NSigma(float64(sp.Duration()), mean, std, 1.96) || sp.Error {
+			anomalousServices[sp.Service] = true
+		}
+		perService[sp.Service] += float64(tr.ExclusiveDuration(i))
+	}
+	var cands []flagged
+	for svc := range anomalousServices {
+		contrib := r.beta[svc] * (perService[svc] - r.meanExcl[svc])
+		cands = append(cands, flagged{service: svc, contrib: math.Abs(contrib)})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].contrib != cands[b].contrib {
+			return cands[a].contrib > cands[b].contrib
+		}
+		return cands[a].service < cands[b].service
+	})
+	return []string{cands[0].service}
+}

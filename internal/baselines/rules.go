@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// MaxDuration is the "Max" baseline (§6.1.2): for error traces, DFS for
+// spans with errors not originating from children; for latency traces, the
+// service with the largest aggregate exclusive duration.
+type MaxDuration struct{}
+
+// Name implements rca.Algorithm.
+func (MaxDuration) Name() string { return "Max" }
+
+// Prepare implements rca.Algorithm (the rule needs no calibration).
+func (MaxDuration) Prepare([]*trace.Trace) error { return nil }
+
+// Localize implements rca.Algorithm.
+func (MaxDuration) Localize(tr *trace.Trace, _ float64) []string {
+	if tr.HasError() {
+		return errorRootServices(tr)
+	}
+	agg := exclusiveDurationByService(tr)
+	best, bestV := "", int64(-1)
+	for svc, v := range agg {
+		if v > bestV || (v == bestV && svc < best) {
+			best, bestV = svc, v
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	return []string{best}
+}
+
+// Threshold is the percentile-threshold baseline (§6.1.2): spans whose
+// duration exceeds the operation's high percentile (calibrated on normal
+// traffic) mark their services as root causes; errors go through the same
+// DFS as Max. Its false-positive rate grows with trace size — one long
+// trace offers many chances to cross a static threshold — which is exactly
+// the scale pathology Figure 1 documents.
+type Threshold struct {
+	// Percentile is the per-operation duration cut-off (default 99).
+	Percentile float64
+	stats      *opStats
+}
+
+// NewThreshold builds the baseline with the given percentile.
+func NewThreshold(percentile float64) *Threshold {
+	if percentile <= 0 {
+		percentile = 99
+	}
+	return &Threshold{Percentile: percentile}
+}
+
+// Name implements rca.Algorithm.
+func (t *Threshold) Name() string { return "Threshold" }
+
+// Prepare implements rca.Algorithm.
+func (t *Threshold) Prepare(train []*trace.Trace) error {
+	t.stats = newOpStats(2000)
+	for _, tr := range train {
+		t.stats.add(tr)
+	}
+	return nil
+}
+
+// Localize implements rca.Algorithm.
+func (t *Threshold) Localize(tr *trace.Trace, _ float64) []string {
+	if tr.HasError() {
+		return errorRootServices(tr)
+	}
+	set := map[string]bool{}
+	for _, sp := range tr.Spans {
+		cut, ok := t.stats.percentile(sp.OpKey(), t.Percentile)
+		if !ok {
+			continue
+		}
+		if float64(sp.Duration()) > cut {
+			set[sp.Service] = true
+		}
+	}
+	return sortedKeys(set)
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+func mkTrace(t *testing.T, id string, spans ...*trace.Span) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Assemble(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func span(tid, id, parent, svc, name string, kind trace.Kind, start, end int64, errFlag bool) *trace.Span {
+	return &trace.Span{TraceID: tid, SpanID: id, ParentID: parent, Service: svc, Name: name, Kind: kind, Start: start, End: end, Error: errFlag}
+}
+
+func TestTraceSetMergesSameIdentifier(t *testing.T) {
+	tr := mkTrace(t, "t",
+		span("t", "r", "", "fe", "h", trace.KindServer, 0, 10000, false),
+		span("t", "a", "r", "redis", "GET", trace.KindClient, 100, 1100, false),
+		span("t", "b", "r", "redis", "GET", trace.KindClient, 2000, 3500, false),
+	)
+	s := TraceSet(tr, DefaultMaxAncestors)
+	if s.Len() != 2 {
+		t.Fatalf("set size = %d, want 2 (merged GETs)", s.Len())
+	}
+	// Merged weight = (1000 + 1500)/1000 ms.
+	found := false
+	for i, id := range s.IDs {
+		if id != SpanIdentifier(tr, 0, DefaultMaxAncestors) {
+			found = true
+			if math.Abs(s.W[i]-2.5) > 1e-9 {
+				t.Fatalf("merged weight = %v, want 2.5", s.W[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged identifier missing")
+	}
+}
+
+func TestSpanIdentifierComponents(t *testing.T) {
+	tr := mkTrace(t, "t",
+		span("t", "r", "", "fe", "h", trace.KindServer, 0, 10000, false),
+		span("t", "a", "r", "db", "query", trace.KindClient, 100, 1100, false),
+		span("t", "b", "r", "db", "query", trace.KindClient, 2000, 3000, true),
+	)
+	var okIdx, errIdx int
+	for i, sp := range tr.Spans {
+		if sp.SpanID == "a" {
+			okIdx = i
+		}
+		if sp.SpanID == "b" {
+			errIdx = i
+		}
+	}
+	// Error status differentiates identifiers.
+	if SpanIdentifier(tr, okIdx, 3) == SpanIdentifier(tr, errIdx, 3) {
+		t.Fatal("error status not part of the identifier")
+	}
+}
+
+func TestIdentifierIncludesCallPath(t *testing.T) {
+	// The same op called from different parents must differ (d_max > 0).
+	t1 := mkTrace(t, "t1",
+		span("t1", "r", "", "fe", "opA", trace.KindServer, 0, 10000, false),
+		span("t1", "c", "r", "db", "query", trace.KindClient, 100, 1100, false),
+	)
+	t2 := mkTrace(t, "t2",
+		span("t2", "r", "", "fe", "opB", trace.KindServer, 0, 10000, false),
+		span("t2", "c", "r", "db", "query", trace.KindClient, 100, 1100, false),
+	)
+	var i1, i2 int
+	for i, sp := range t1.Spans {
+		if sp.SpanID == "c" {
+			i1 = i
+		}
+	}
+	for i, sp := range t2.Spans {
+		if sp.SpanID == "c" {
+			i2 = i
+		}
+	}
+	if SpanIdentifier(t1, i1, 3) == SpanIdentifier(t2, i2, 3) {
+		t.Fatal("ancestor path not part of the identifier")
+	}
+	if SpanIdentifier(t1, i1, 0) != SpanIdentifier(t2, i2, 0) {
+		t.Fatal("with d_max=0 the identifiers should collapse")
+	}
+}
+
+func TestDistanceIdentityAndDisjoint(t *testing.T) {
+	a := SetFromMap(map[string]float64{"x": 2, "y": 3})
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	b := SetFromMap(map[string]float64{"z": 5})
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("disjoint distance = %v", d)
+	}
+	if d := Distance(WeightedSet{}, WeightedSet{}); d != 0 {
+		t.Fatalf("empty distance = %v", d)
+	}
+}
+
+func TestDistanceWorkedExample(t *testing.T) {
+	// A={x:2,y:3}, B={x:1,y:4}: min-sum=1+3=4, max-sum=2+4=6 → d = 1-4/6.
+	a := SetFromMap(map[string]float64{"x": 2, "y": 3})
+	b := SetFromMap(map[string]float64{"x": 1, "y": 4})
+	want := 1 - 4.0/6.0
+	if d := Distance(a, b); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("distance = %v, want %v", d, want)
+	}
+}
+
+func TestDistanceDurationSensitivity(t *testing.T) {
+	// Changing a heavy span's weight must move the distance more than the
+	// same relative change on a light span (Eq. 1 design goal).
+	base := SetFromMap(map[string]float64{"heavy": 100, "light": 1})
+	heavyUp := SetFromMap(map[string]float64{"heavy": 200, "light": 1})
+	lightUp := SetFromMap(map[string]float64{"heavy": 100, "light": 2})
+	if Distance(base, heavyUp) <= Distance(base, lightUp) {
+		t.Fatal("distance not more sensitive to heavy spans")
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	rng := xrand.New(1)
+	randSet := func() WeightedSet {
+		m := map[string]float64{}
+		for i := 0; i < rng.IntRange(1, 8); i++ {
+			m[string(rune('a'+rng.Intn(10)))] = rng.Float64()*10 + 0.01
+		}
+		return SetFromMap(m)
+	}
+	check := func(_ uint8) bool {
+		a, b, c := randSet(), randSet(), randSet()
+		dab, dba := Distance(a, b), Distance(b, a)
+		if math.Abs(dab-dba) > 1e-15 {
+			return false
+		}
+		if dab < 0 || dab > 1 {
+			return false
+		}
+		// Triangle inequality (weighted Jaccard distance is a metric).
+		dac, dcb := Distance(a, c), Distance(c, b)
+		return dab <= dac+dcb+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lineMatrix builds a distance matrix from 1-D coordinates.
+func lineMatrix(coords []float64) *Matrix {
+	m := NewMatrix(len(coords))
+	for i := range coords {
+		for j := i + 1; j < len(coords); j++ {
+			m.Set(i, j, math.Abs(coords[i]-coords[j]))
+		}
+	}
+	return m
+}
+
+func twoBlobCoords(rng *xrand.Rand, perBlob int) []float64 {
+	var coords []float64
+	for i := 0; i < perBlob; i++ {
+		coords = append(coords, rng.Normal(0, 0.5))
+	}
+	for i := 0; i < perBlob; i++ {
+		coords = append(coords, rng.Normal(100, 0.5))
+	}
+	return coords
+}
+
+func TestHDBSCANTwoBlobs(t *testing.T) {
+	rng := xrand.New(2)
+	coords := twoBlobCoords(rng, 15)
+	labels := HDBSCAN(lineMatrix(coords), Options{MinClusterSize: 5, MinSamples: 3})
+	// Both blobs must form clusters, with distinct labels.
+	firstLabel, secondLabel := labels[0], labels[15]
+	if firstLabel < 0 || secondLabel < 0 {
+		t.Fatalf("blob cores labelled noise: %v", labels)
+	}
+	if firstLabel == secondLabel {
+		t.Fatalf("blobs merged: %v", labels)
+	}
+	for i, l := range labels {
+		want := firstLabel
+		if i >= 15 {
+			want = secondLabel
+		}
+		if l != want && l != -1 {
+			t.Fatalf("point %d labelled %d, want %d or noise", i, l, want)
+		}
+	}
+	// The overwhelming majority must be clustered, not noise.
+	noise := 0
+	for _, l := range labels {
+		if l < 0 {
+			noise++
+		}
+	}
+	if noise > 4 {
+		t.Fatalf("%d/30 points labelled noise", noise)
+	}
+}
+
+func TestHDBSCANOutlierIsNoise(t *testing.T) {
+	rng := xrand.New(3)
+	coords := twoBlobCoords(rng, 10)
+	coords = append(coords, 50) // far from both blobs
+	labels := HDBSCAN(lineMatrix(coords), Options{MinClusterSize: 4, MinSamples: 2})
+	if labels[len(labels)-1] != -1 {
+		t.Fatalf("outlier labelled %d", labels[len(labels)-1])
+	}
+}
+
+func TestHDBSCANSmallInputAllNoise(t *testing.T) {
+	labels := HDBSCAN(lineMatrix([]float64{0, 1, 2}), Options{MinClusterSize: 5, MinSamples: 2})
+	for _, l := range labels {
+		if l != -1 {
+			t.Fatalf("tiny input clustered: %v", labels)
+		}
+	}
+	if got := HDBSCAN(NewMatrix(0), DefaultOptions()); len(got) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestHDBSCANSingleBlobNeedsAllowSingle(t *testing.T) {
+	rng := xrand.New(4)
+	var coords []float64
+	for i := 0; i < 20; i++ {
+		coords = append(coords, rng.Normal(0, 1))
+	}
+	m := lineMatrix(coords)
+	with := HDBSCAN(m, Options{MinClusterSize: 5, MinSamples: 3, AllowSingleCluster: true})
+	clustered := 0
+	for _, l := range with {
+		if l >= 0 {
+			clustered++
+		}
+	}
+	if clustered < 15 {
+		t.Fatalf("single-cluster mode clustered only %d/20", clustered)
+	}
+}
+
+func TestHDBSCANEpsilonMergesFineSplits(t *testing.T) {
+	rng := xrand.New(5)
+	// Two sub-blobs 2 apart (fine structure) and another blob 100 away.
+	var coords []float64
+	for i := 0; i < 8; i++ {
+		coords = append(coords, rng.Normal(0, 0.2))
+	}
+	for i := 0; i < 8; i++ {
+		coords = append(coords, rng.Normal(2, 0.2))
+	}
+	for i := 0; i < 8; i++ {
+		coords = append(coords, rng.Normal(100, 0.2))
+	}
+	m := lineMatrix(coords)
+	fine := HDBSCAN(m, Options{MinClusterSize: 4, MinSamples: 2, SelectionEpsilon: 0})
+	coarse := HDBSCAN(m, Options{MinClusterSize: 4, MinSamples: 2, SelectionEpsilon: 5})
+	nFine := numClusters(fine)
+	nCoarse := numClusters(coarse)
+	if nCoarse >= nFine {
+		t.Fatalf("epsilon did not merge: fine=%d coarse=%d", nFine, nCoarse)
+	}
+	if nCoarse != 2 {
+		t.Fatalf("coarse clustering found %d clusters, want 2", nCoarse)
+	}
+}
+
+func numClusters(labels []int) int {
+	set := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			set[l] = true
+		}
+	}
+	return len(set)
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := xrand.New(6)
+	coords := twoBlobCoords(rng, 12)
+	coords = append(coords, 50)
+	labels := DBSCAN(lineMatrix(coords), 2.0, 3)
+	if numClusters(labels) != 2 {
+		t.Fatalf("DBSCAN clusters = %d, want 2", numClusters(labels))
+	}
+	if labels[len(labels)-1] != -1 {
+		t.Fatal("DBSCAN outlier not noise")
+	}
+}
+
+func TestMedoids(t *testing.T) {
+	// Points 0,1,2 at coords 0,1,10: medoid of the cluster {0,1,2} is 1.
+	m := lineMatrix([]float64{0, 1, 10})
+	labels := []int{0, 0, 0}
+	med := Medoids(m, labels)
+	if med[0] != 1 {
+		t.Fatalf("medoid = %d, want 1", med[0])
+	}
+	// Noise points excluded.
+	labels = []int{0, 0, -1}
+	med = Medoids(m, labels)
+	if _, ok := med[-1]; ok {
+		t.Fatal("noise cluster got a medoid")
+	}
+}
+
+func TestPairwiseMatchesSequential(t *testing.T) {
+	rng := xrand.New(7)
+	var sets []WeightedSet
+	for i := 0; i < 20; i++ {
+		m := map[string]float64{}
+		for j := 0; j < 5; j++ {
+			m[string(rune('a'+rng.Intn(8)))] = rng.Float64() * 10
+		}
+		sets = append(sets, SetFromMap(m))
+	}
+	m := Pairwise(sets)
+	for i := 0; i < 20; i++ {
+		if m.At(i, i) != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := 0; j < 20; j++ {
+			want := Distance(sets[i], sets[j])
+			if math.Abs(m.At(i, j)-want) > 1e-12 {
+				t.Fatalf("matrix[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary([]int{0, 0, 1, -1})
+	if s != "noise=1 c0=2 c1=1" {
+		t.Fatalf("Summary = %q", s)
+	}
+}
+
+func BenchmarkDistance100Spans(b *testing.B) {
+	rng := xrand.New(8)
+	mk := func() WeightedSet {
+		m := map[string]float64{}
+		for i := 0; i < 100; i++ {
+			m[string(rune('a'+rng.Intn(60)))+string(rune('a'+i%26))] = rng.Float64() * 10
+		}
+		return SetFromMap(m)
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(a, c)
+	}
+}
+
+func BenchmarkHDBSCAN100(b *testing.B) {
+	rng := xrand.New(9)
+	coords := make([]float64, 100)
+	for i := range coords {
+		coords[i] = rng.Float64() * 100
+	}
+	m := lineMatrix(coords)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HDBSCAN(m, Options{MinClusterSize: 5, MinSamples: 3})
+	}
+}

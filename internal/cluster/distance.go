@@ -1,0 +1,246 @@
+// Package cluster implements the paper's trace clustering stage (§3.3):
+// the weighted-span-set trace distance metric (Eq. 1) and density-based
+// clustering (HDBSCAN, with DBSCAN as the simpler alternative), plus
+// geometric-median representative selection. Clustering collapses the
+// flood of anomalous traces produced by one incident into a handful of
+// failure modes so the expensive GNN inference runs once per mode.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// DefaultMaxAncestors is the d_max ancestor window of the span identifier
+// (§3.3.1): identifiers embed the call path up to this many ancestors.
+const DefaultMaxAncestors = 3
+
+// WeightedSet is the weighted span-set encoding of one trace: identifiers
+// with their total durations, stored sorted by identifier so that distance
+// computation is a deterministic two-pointer merge (map iteration order
+// would make the last-ulp float sums — and therefore clustering —
+// nondeterministic across runs).
+type WeightedSet struct {
+	IDs []string
+	W   []float64
+}
+
+// SetFromMap builds a WeightedSet from an identifier → weight map.
+func SetFromMap(m map[string]float64) WeightedSet {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w := make([]float64, len(ids))
+	for i, id := range ids {
+		w[i] = m[id]
+	}
+	return WeightedSet{IDs: ids, W: w}
+}
+
+// Len returns the number of distinct identifiers.
+func (s WeightedSet) Len() int { return len(s.IDs) }
+
+// Mass returns |S| = Σ weights.
+func (s WeightedSet) Mass() float64 {
+	total := 0.0
+	for _, w := range s.W {
+		total += w
+	}
+	return total
+}
+
+// SpanIdentifier builds the §3.3.1 element identifier for span i of tr: a
+// tuple of service name, span name, kind, error status and the names of
+// its ancestors within dmax hops.
+func SpanIdentifier(tr *trace.Trace, i, dmax int) string {
+	sp := tr.Spans[i]
+	var b strings.Builder
+	b.WriteString(sp.Service)
+	b.WriteByte(0x1f)
+	b.WriteString(sp.Name)
+	b.WriteByte(0x1f)
+	b.WriteString(string(sp.Kind))
+	b.WriteByte(0x1f)
+	if sp.Error {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	for _, a := range tr.Ancestors(i, dmax) {
+		b.WriteByte(0x1f)
+		b.WriteString(tr.Spans[a].Name)
+	}
+	return b.String()
+}
+
+// TraceSet encodes a trace as a weighted span set. Spans sharing an
+// identifier merge with weights summed (§3.3.1). Durations are weighted in
+// milliseconds to keep masses in a numerically friendly range.
+func TraceSet(tr *trace.Trace, dmax int) WeightedSet {
+	m := make(map[string]float64, tr.Len())
+	for i, sp := range tr.Spans {
+		id := SpanIdentifier(tr, i, dmax)
+		w := float64(sp.Duration()) / 1000.0
+		if w < 0.001 {
+			w = 0.001
+		}
+		m[id] += w
+	}
+	return SetFromMap(m)
+}
+
+// Distance computes the extended weighted Jaccard distance of Eq. 1:
+//
+//	d(A,B) = 1 - Σ min(w_A, w_B) / Σ max(w_A, w_B)
+//
+// It is 0 for identical sets, 1 for disjoint sets, and more sensitive to
+// high-duration spans because they dominate both sums. Complexity is
+// O(|A| + |B|).
+func Distance(a, b WeightedSet) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 0
+	}
+	interMin := 0.0
+	unionMax := 0.0
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		switch {
+		case a.IDs[i] == b.IDs[j]:
+			wa, wb := a.W[i], b.W[j]
+			if wa < wb {
+				interMin += wa
+				unionMax += wb
+			} else {
+				interMin += wb
+				unionMax += wa
+			}
+			i++
+			j++
+		case a.IDs[i] < b.IDs[j]:
+			unionMax += a.W[i]
+			i++
+		default:
+			unionMax += b.W[j]
+			j++
+		}
+	}
+	for ; i < len(a.IDs); i++ {
+		unionMax += a.W[i]
+	}
+	for ; j < len(b.IDs); j++ {
+		unionMax += b.W[j]
+	}
+	if unionMax == 0 {
+		return 0
+	}
+	return 1 - interMin/unionMax
+}
+
+// Matrix is a symmetric distance matrix.
+type Matrix struct {
+	N int
+	d []float64
+}
+
+// NewMatrix allocates an N×N zero matrix.
+func NewMatrix(n int) *Matrix { return &Matrix{N: n, d: make([]float64, n*n)} }
+
+// At returns the distance between i and j.
+func (m *Matrix) At(i, j int) float64 { return m.d[i*m.N+j] }
+
+// Set assigns the symmetric distance between i and j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.d[i*m.N+j] = v
+	m.d[j*m.N+i] = v
+}
+
+// Pairwise computes the full distance matrix over trace sets in parallel.
+func Pairwise(sets []WeightedSet) *Matrix {
+	n := len(sets)
+	m := NewMatrix(n)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	rows := make(chan int, n)
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					m.Set(i, j, Distance(sets[i], sets[j]))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// TraceSets encodes every trace with the given ancestor window.
+func TraceSets(traces []*trace.Trace, dmax int) []WeightedSet {
+	out := make([]WeightedSet, len(traces))
+	for i, tr := range traces {
+		out[i] = TraceSet(tr, dmax)
+	}
+	return out
+}
+
+// Medoids returns, for every cluster label (≥ 0), the index of its
+// geometric median: the member minimising the sum of distances to all
+// other members (§3.3.2's cluster representative).
+func Medoids(m *Matrix, labels []int) map[int]int {
+	members := make(map[int][]int)
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	out := make(map[int]int, len(members))
+	for l, idx := range members {
+		best, bestSum := idx[0], -1.0
+		for _, i := range idx {
+			sum := 0.0
+			for _, j := range idx {
+				sum += m.At(i, j)
+			}
+			if bestSum < 0 || sum < bestSum {
+				best, bestSum = i, sum
+			}
+		}
+		out[l] = best
+	}
+	return out
+}
+
+// Summary renders cluster sizes for logs.
+func Summary(labels []int) string {
+	counts := make(map[int]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		name := fmt.Sprintf("c%d", k)
+		if k < 0 {
+			name = "noise"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", name, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,71 @@
+// Package collector implements the trace ingestion endpoint of §4: an HTTP
+// server accepting OpenTelemetry-style, Zipkin-style and Jaeger-style JSON
+// payloads and forwarding the decoded spans into a storage engine — the
+// single-process equivalent of the paper's OpenTelemetry collector cluster.
+package collector
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/sleuth-rca/sleuth/internal/otel"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Collector ingests trace payloads into a store.
+type Collector struct {
+	Store *store.Store
+	// MaxBodyBytes bounds accepted payload sizes (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// New creates a Collector feeding the given store.
+func New(st *store.Store) *Collector {
+	return &Collector{Store: st, MaxBodyBytes: 32 << 20}
+}
+
+// Handler returns the HTTP mux with the three protocol endpoints:
+//
+//	POST /v1/traces      — OTLP-style JSON
+//	POST /api/v2/spans   — Zipkin-style JSON
+//	POST /api/traces     — Jaeger-style JSON
+//	GET  /healthz        — liveness
+//	GET  /stats          — span/trace counts
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traces", c.ingest(otel.DecodeOTLP))
+	mux.HandleFunc("/api/v2/spans", c.ingest(otel.DecodeZipkin))
+	mux.HandleFunc("/api/traces", c.ingest(otel.DecodeJaeger))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"spans":%d,"traces":%d}`+"\n", c.Store.SpanCount(), c.Store.TraceCount())
+	})
+	return mux
+}
+
+// ingest builds a POST handler around a decoder.
+func (c *Collector) ingest(decode func([]byte) ([]*trace.Span, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, c.MaxBodyBytes))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		spans, err := decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c.Store.AddSpans(spans)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(spans))
+	}
+}

@@ -1,0 +1,116 @@
+package collector
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/otel"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New()
+	srv := httptest.NewServer(New(st).Handler())
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func sampleSpans(t *testing.T) []*trace.Span {
+	t.Helper()
+	s := sim.New(synth.Synthetic(16, 1), sim.DefaultOptions(1))
+	res, err := s.SimulateRequest(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Spans
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIngestAllProtocols(t *testing.T) {
+	spans := sampleSpans(t)
+	encoders := map[string]struct {
+		path   string
+		encode func([]*trace.Span) ([]byte, error)
+	}{
+		"otlp":   {"/v1/traces", otel.EncodeOTLP},
+		"zipkin": {"/api/v2/spans", otel.EncodeZipkin},
+		"jaeger": {"/api/traces", otel.EncodeJaeger},
+	}
+	for name, e := range encoders {
+		srv, st := testServer(t)
+		data, err := e.encode(spans)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp := post(t, srv.URL+e.path, data)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		if st.SpanCount() != len(spans) {
+			t.Fatalf("%s: stored %d spans, want %d", name, st.SpanCount(), len(spans))
+		}
+		// Stored spans must assemble back into the same trace.
+		traces := st.Traces(store.Query{})
+		if len(traces) != 1 || traces[0].Len() != len(spans) {
+			t.Fatalf("%s: assembly failed", name)
+		}
+	}
+}
+
+func TestRejectsBadPayload(t *testing.T) {
+	srv, st := testServer(t)
+	resp := post(t, srv.URL+"/v1/traces", []byte("{broken"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.SpanCount() != 0 {
+		t.Fatal("bad payload stored spans")
+	}
+}
+
+func TestRejectsGet(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/features"
+	"github.com/sleuth-rca/sleuth/internal/gnn"
+	"github.com/sleuth-rca/sleuth/internal/tensor"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// CounterfactualResult is the predicted trace state under an intervention.
+type CounterfactualResult struct {
+	// RootDurationMicros is the predicted end-to-end duration.
+	RootDurationMicros float64
+	// RootErrorProb is the predicted probability the root span errors.
+	RootErrorProb float64
+}
+
+// Counterfactual answers the §3.5 query: given the observed trace, what
+// would the root span's duration and error status be if the spans selected
+// by restored were returned to their normal state (median duration, no
+// error)?
+//
+// Inference is ancestral over the causal DAG: h parameters are produced by
+// one aggregation pass over the intervened features, then durations and
+// errors are recomputed bottom-up with Eq. 2 and Eq. 3, so a restoration
+// deep in the trace propagates through every ancestor rather than only one
+// level.
+func (m *Model) Counterfactual(tr *trace.Trace, restored map[int]bool) CounterfactualResult {
+	enc := m.Encode(tr)
+	n := tr.Len()
+
+	// Intervene on the feature copies.
+	x := tensor.FromRows(enc.X)
+	xStar := tensor.FromRows(enc.XStar)
+	normalDur := make([]float64, n)  // µs restoration targets
+	normalExcl := make([]float64, n) // µs
+	for i := range tr.Spans {
+		norm := m.Normal(tr.Spans[i].OpKey())
+		normalDur[i] = math.Max(norm.MedianDuration, 1)
+		normalExcl[i] = math.Max(norm.MedianExclusiveDuration, 1)
+		if restored[i] {
+			x.Set(i, 0, features.ScaleDuration(int64(normalDur[i])))
+			x.Set(i, 1, 0)
+			xStar.Set(i, 0, features.ScaleDuration(int64(normalExcl[i])))
+			xStar.Set(i, 1, 0)
+		}
+	}
+
+	g := gnn.NewGraph(enc.Parents)
+	h := m.agg.Forward(g, xStar, x) // [n, headDim]
+
+	// Bottom-up ancestral recomputation, deepest spans first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return tr.Depth(order[a]) > tr.Depth(order[b]) })
+
+	dur := make([]float64, n) // µs
+	errp := make([]float64, n)
+	for _, i := range order {
+		kids := tr.Children(i)
+		// Exclusive components under the intervention.
+		exclDur := float64(tr.ExclusiveDuration(i))
+		exclErr := 0.0
+		if tr.ExclusiveError(i) {
+			exclErr = 1
+		}
+		if restored[i] {
+			exclDur = normalExcl[i]
+			exclErr = 0
+		}
+		if len(kids) == 0 {
+			if restored[i] {
+				dur[i] = normalDur[i]
+			} else {
+				dur[i] = math.Max(float64(tr.Spans[i].Duration()), 1)
+			}
+			errp[i] = exclErr
+			continue
+		}
+		// Eq. 2 over recomputed child durations.
+		total := exclDur
+		maxErr := exclErr
+		for _, j := range kids {
+			if m.cfg.PlainSum {
+				total += dur[j]
+			} else {
+				v := math.Pow(10, clampf(h.At(j, 1), -2, 8))
+				u := v * sigmoid(h.At(j, 0))
+				total += smoothClippedReLU(dur[j], u, v, smoothFrac*dur[j]+1)
+			}
+			// Eq. 3 child terms with recomputed values.
+			propagated := errp[j] * sigmoid(h.At(j, 2))
+			dScaled := features.ScaleDuration(int64(math.Max(dur[j], 1)))
+			durInduced := sigmoid(h.At(j, 3)*dScaled + h.At(j, 4))
+			if propagated > maxErr {
+				maxErr = propagated
+			}
+			if durInduced > maxErr {
+				maxErr = durInduced
+			}
+		}
+		dur[i] = math.Max(total, 1)
+		errp[i] = maxErr
+	}
+
+	root := tr.Roots()[0]
+	return CounterfactualResult{
+		RootDurationMicros: dur[root],
+		RootErrorProb:      errp[root],
+	}
+}
+
+// smoothClippedReLU mirrors the model's smoothed Eq. 2 clipping window:
+// softplus((d-u)/s)·s - softplus((d-v)/s)·s.
+func smoothClippedReLU(d, u, v, s float64) float64 {
+	return (softplus((d-u)/s) - softplus((d-v)/s)) * s
+}
+
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+func clampf(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

@@ -1,0 +1,253 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/baselines"
+	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Fig7Point is one fine-tuning point: accuracy after adapting a pre-
+// trained model to an unseen application with a given number of samples.
+type Fig7Point struct {
+	Target    string
+	Pretrain  string // "Syn-256", "corpus", "scratch", "Sage"
+	Samples   int
+	F1        float64
+	ACC       float64
+	AdaptTime time.Duration
+}
+
+// PretrainSleuth trains a model on a mixed corpus of applications — the
+// stand-in for the paper's 50-production-app pre-training (§6.5).
+func PretrainSleuth(apps []*synth.App, effort Effort) (*core.Model, error) {
+	m := core.NewModel(core.Config{EmbeddingDim: 16, Hidden: 32, Seed: effort.Seed})
+	var all []*trace.Trace
+	perApp := effort.NormalTraces / len(apps)
+	if perApp < 10 {
+		perApp = 10
+	}
+	for i, app := range apps {
+		s := sim.New(app, sim.DefaultOptions(effort.Seed+uint64(i)))
+		res, err := s.Run(0, perApp)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, sim.Traces(res)...)
+	}
+	if _, err := m.Train(all, core.TrainOptions{Epochs: effort.TrainEpochs, LearningRate: 3e-3, Seed: effort.Seed}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Fig7 reproduces the transfer-learning experiment: two pre-trained Sleuth
+// models (one on Synthetic-256, one on a diverse corpus) are adapted to
+// unseen target applications with 0, ~1k-equivalent and ~10k-equivalent
+// fine-tuning samples. Sage must retrain from scratch; a from-scratch
+// Sleuth supplies the reference accuracy.
+func Fig7(effort Effort) ([]Fig7Point, error) {
+	// Pre-training sources.
+	pre256ds, err := BuildDataset(synth.Synthetic(256, effort.Seed+500), effort.datasetOptions(effort.Seed+500))
+	if err != nil {
+		return nil, err
+	}
+	pre256, err := TrainSleuth(pre256ds, core.VariantGIN, effort)
+	if err != nil {
+		return nil, err
+	}
+	corpusN := 8
+	if effort.MaxAppRPCs >= 1024 {
+		corpusN = 16
+	}
+	corpusModel, err := PretrainSleuth(synth.Corpus(corpusN, effort.Seed+900), effort)
+	if err != nil {
+		return nil, err
+	}
+
+	targets := []BenchmarkApp{
+		{"SockShop", synth.SockShopLike(effort.Seed + 41)},
+	}
+	if effort.MaxAppRPCs >= 1024 {
+		targets = append(targets, BenchmarkApp{"Syn-1024", synth.Synthetic(1024, effort.Seed+43)})
+	} else {
+		targets = append(targets, BenchmarkApp{"Syn-256", synth.Synthetic(256, effort.Seed+43)})
+	}
+
+	// Fine-tune sample ladder (scaled from the paper's 1k / 10k).
+	ladder := []int{0, 20, 100}
+
+	var points []Fig7Point
+	for _, tgt := range targets {
+		ds, err := BuildDataset(tgt.App, effort.datasetOptions(effort.Seed+uint64(len(tgt.Name))+77))
+		if err != nil {
+			return nil, err
+		}
+		for _, pre := range []struct {
+			name  string
+			model *core.Model
+		}{{"Syn-256", pre256}, {"corpus", corpusModel}} {
+			for _, samples := range ladder {
+				m := pre.model.Clone()
+				start := time.Now()
+				if samples > 0 {
+					ft := ds.Train
+					if samples < len(ft) {
+						ft = ft[:samples]
+					}
+					if _, err := m.FineTune(ft, core.TrainOptions{Epochs: 2, LearningRate: 5e-4, Seed: effort.Seed}); err != nil {
+						return nil, err
+					}
+				}
+				// Normal-state statistics always come from the target (a
+				// data-engineering step, not learning).
+				m.SetNormals(ds.Normal)
+				adapt := time.Since(start)
+				c, _, err := Evaluate(sleuthAlgorithm(m), ds)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, Fig7Point{
+					Target: tgt.Name, Pretrain: pre.name, Samples: samples,
+					F1: c.F1(), ACC: c.ACC(), AdaptTime: adapt,
+				})
+			}
+		}
+		// From-scratch Sleuth reference.
+		start := time.Now()
+		scratch, err := TrainSleuth(ds, core.VariantGIN, effort)
+		if err != nil {
+			return nil, err
+		}
+		scratchTime := time.Since(start)
+		c, _, err := Evaluate(sleuthAlgorithm(scratch), ds)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Fig7Point{
+			Target: tgt.Name, Pretrain: "scratch", Samples: len(ds.Train),
+			F1: c.F1(), ACC: c.ACC(), AdaptTime: scratchTime,
+		})
+		// Sage retrained from scratch (its only option on a new app).
+		sage := baselines.NewSage(effort.Seed)
+		sage.Epochs = 10
+		start = time.Now()
+		if err := sage.Prepare(ds.Train); err != nil {
+			return nil, err
+		}
+		sageTime := time.Since(start)
+		var cg Confusion
+		for _, q := range ds.Queries {
+			cg.Add(sage.Localize(q.Trace, q.SLOMicros), q.Truth)
+		}
+		points = append(points, Fig7Point{
+			Target: tgt.Name, Pretrain: "Sage", Samples: len(ds.Train),
+			F1: cg.F1(), ACC: cg.ACC(), AdaptTime: sageTime,
+		})
+	}
+	return points, nil
+}
+
+// RenderFig7 formats the transfer results.
+func RenderFig7(points []Fig7Point) string {
+	t := Table{Header: []string{"target", "pretrain", "samples", "F1", "ACC", "adapt time"}}
+	for _, p := range points {
+		t.AddRow(p.Target, p.Pretrain, fmt.Sprint(p.Samples),
+			fmt.Sprintf("%.2f", p.F1), fmt.Sprintf("%.2f", p.ACC),
+			p.AdaptTime.Round(time.Millisecond).String())
+	}
+	return t.String()
+}
+
+// --- Figure 8: sensitivity to semantic information ------------------------
+
+// Fig8Point is one (model, naming, fine-tune) accuracy cell.
+type Fig8Point struct {
+	Target    string
+	Pretrain  string
+	Names     string // "original" or "randomized"
+	FineTuned bool
+	F1        float64
+	ACC       float64
+}
+
+// Fig8 measures how much the pre-trained models lean on span name
+// semantics: the target application is evaluated once with its original
+// names and once with a disjoint random vocabulary (§6.6). Models
+// pre-trained on a single source over-fit name semantics; diverse-corpus
+// pre-training and few-shot fine-tuning both close the gap.
+func Fig8(effort Effort) ([]Fig8Point, error) {
+	pre256ds, err := BuildDataset(synth.Synthetic(256, effort.Seed+500), effort.datasetOptions(effort.Seed+500))
+	if err != nil {
+		return nil, err
+	}
+	pre256, err := TrainSleuth(pre256ds, core.VariantGIN, effort)
+	if err != nil {
+		return nil, err
+	}
+	corpusModel, err := PretrainSleuth(synth.Corpus(8, effort.Seed+900), effort)
+	if err != nil {
+		return nil, err
+	}
+
+	size := 64
+	if effort.MaxAppRPCs >= 256 {
+		size = 256
+	}
+	if effort.MaxAppRPCs >= 1024 {
+		size = 1024
+	}
+	var points []Fig8Point
+	for _, naming := range []string{"original", "randomized"} {
+		app := synth.Synthetic(size, effort.Seed+61)
+		if naming == "randomized" {
+			app.RandomizeNames(synth.DisjointVocabulary(), effort.Seed+62)
+		}
+		ds, err := BuildDataset(app, effort.datasetOptions(effort.Seed+63))
+		if err != nil {
+			return nil, err
+		}
+		for _, pre := range []struct {
+			name  string
+			model *core.Model
+		}{{"Syn-256", pre256}, {"corpus", corpusModel}} {
+			for _, fineTuned := range []bool{false, true} {
+				m := pre.model.Clone()
+				if fineTuned {
+					if _, err := m.FineTune(ds.Train, core.TrainOptions{Epochs: 2, LearningRate: 5e-4, Seed: effort.Seed}); err != nil {
+						return nil, err
+					}
+				}
+				m.SetNormals(ds.Normal)
+				c, _, err := Evaluate(sleuthAlgorithm(m), ds)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, Fig8Point{
+					Target: fmt.Sprintf("Syn-%d", size), Pretrain: pre.name,
+					Names: naming, FineTuned: fineTuned,
+					F1: c.F1(), ACC: c.ACC(),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// RenderFig8 formats the semantic-sensitivity results.
+func RenderFig8(points []Fig8Point) string {
+	t := Table{Header: []string{"target", "pretrain", "names", "fine-tuned", "F1", "ACC"}}
+	for _, p := range points {
+		ft := "no"
+		if p.FineTuned {
+			ft = "yes"
+		}
+		t.AddRow(p.Target, p.Pretrain, p.Names, ft,
+			fmt.Sprintf("%.2f", p.F1), fmt.Sprintf("%.2f", p.ACC))
+	}
+	return t.String()
+}

@@ -1,0 +1,268 @@
+// Package features implements the trace feature-engineering pipeline of
+// §3.2: text normalisation and semantic embedding of service/operation
+// names, logarithmic duration scaling with the paper's global
+// standardisation constants, and span-to-vector encoding for the GNN.
+//
+// The paper embeds names with a pre-trained sentence-BERT model; offline
+// and stdlib-only, we substitute a deterministic hashed character-n-gram
+// embedding. It preserves the properties the model relies on: identical
+// names map to identical vectors (shared through a registry, the paper's
+// storage optimisation), lexically similar names map to nearby vectors, and
+// the dimensionality is fixed regardless of the application.
+package features
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"unicode"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Duration-scaling constants from §3.2.2: durations are log10-transformed
+// and standardised with a global mean of 4.0 and standard deviation of 1.0
+// so one model applies to every dataset without rescaling.
+const (
+	DurLogMean = 4.0
+	DurLogStd  = 1.0
+)
+
+// ScaleDuration maps a duration in microseconds to the model's scaled
+// space: (log10(d) - 4) / 1. Non-positive durations clamp to 1µs.
+func ScaleDuration(micros int64) float64 {
+	d := float64(micros)
+	if d < 1 {
+		d = 1
+	}
+	return (math.Log10(d) - DurLogMean) / DurLogStd
+}
+
+// UnscaleDuration inverts ScaleDuration: 10^(σ·v + µ).
+func UnscaleDuration(v float64) float64 {
+	return math.Pow(10, v*DurLogStd+DurLogMean)
+}
+
+// NormalizeName pre-processes a service or operation name per §3.2.2:
+// camel-case words are separated, long hexadecimal digit runs are replaced
+// with a placeholder, special characters become spaces, and everything is
+// lower-cased.
+func NormalizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsUpper(r):
+			if i > 0 && (unicode.IsLower(runes[i-1]) || unicode.IsDigit(runes[i-1])) {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	words := strings.Fields(b.String())
+	for i, w := range words {
+		if isLongHex(w) {
+			words[i] = "hexid"
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// isLongHex reports whether w is a hexadecimal token of at least 8 digits —
+// the shape of trace IDs, UUID fragments and object hashes.
+func isLongHex(w string) bool {
+	if len(w) < 8 {
+		return false
+	}
+	for _, r := range w {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Embedder converts normalised text to fixed-size semantic vectors. It is
+// safe for concurrent use. Identical inputs share one cached vector — the
+// registry indirection the paper uses to avoid storing per-span embeddings.
+type Embedder struct {
+	dim int
+
+	mu       sync.RWMutex
+	registry map[string][]float64
+}
+
+// DefaultEmbeddingDim is the embedding width used by the shipped models.
+// The paper uses 768-d sentence-BERT vectors; 32 hashed-n-gram dimensions
+// carry enough lexical signal for the span vocabulary sizes involved while
+// keeping CPU training fast.
+const DefaultEmbeddingDim = 32
+
+// NewEmbedder creates an Embedder producing dim-dimensional vectors.
+func NewEmbedder(dim int) *Embedder {
+	if dim <= 0 {
+		panic("features: embedding dim must be positive")
+	}
+	return &Embedder{dim: dim, registry: make(map[string][]float64)}
+}
+
+// Dim returns the embedding width.
+func (e *Embedder) Dim() int { return e.dim }
+
+// RegistrySize returns the number of distinct cached texts.
+func (e *Embedder) RegistrySize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.registry)
+}
+
+// Embed returns the embedding vector for text. The returned slice is shared
+// and must not be modified.
+func (e *Embedder) Embed(text string) []float64 {
+	e.mu.RLock()
+	v, ok := e.registry[text]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = e.compute(text)
+	e.mu.Lock()
+	if existing, ok := e.registry[text]; ok {
+		v = existing
+	} else {
+		e.registry[text] = v
+	}
+	e.mu.Unlock()
+	return v
+}
+
+// compute builds the hashed-n-gram embedding: word unigrams plus character
+// trigrams of the normalised text are hashed into the vector with ±1 signs,
+// then L2-normalised.
+func (e *Embedder) compute(text string) []float64 {
+	norm := NormalizeName(text)
+	v := make([]float64, e.dim)
+	add := func(feature string, weight float64) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(feature))
+		sum := h.Sum64()
+		idx := int(sum % uint64(e.dim))
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1
+		}
+		v[idx] += sign * weight
+	}
+	for _, w := range strings.Fields(norm) {
+		add("w:"+w, 1.0)
+		padded := "^" + w + "$"
+		for i := 0; i+3 <= len(padded); i++ {
+			add("t:"+padded[i:i+3], 0.5)
+		}
+	}
+	normL2 := 0.0
+	for _, x := range v {
+		normL2 += x * x
+	}
+	if normL2 > 0 {
+		inv := 1 / math.Sqrt(normL2)
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Encoded is the tensor-ready encoding of one trace: per-span node
+// attributes x (scaled duration, error flag, name embedding), exclusive
+// attributes x*, and the parent pointers defining the causal DAG.
+type Encoded struct {
+	Trace   *trace.Trace
+	Parents []int
+	// X rows: [scaledDuration, error, embedding...]
+	X [][]float64
+	// XStar rows: [scaledExclusiveDuration, exclusiveError, embedding...]
+	XStar [][]float64
+}
+
+// NodeDim returns the width of the X rows.
+func (e *Encoded) NodeDim() int {
+	if len(e.X) == 0 {
+		return 0
+	}
+	return len(e.X[0])
+}
+
+// Encoder turns assembled traces into Encoded feature sets.
+type Encoder struct {
+	Emb *Embedder
+}
+
+// NewEncoder creates an Encoder with the given embedder.
+func NewEncoder(emb *Embedder) *Encoder { return &Encoder{Emb: emb} }
+
+// spanText builds the text embedded for a span: service, operation name
+// and kind, which the paper found carries transferable semantics.
+func spanText(s *trace.Span) string {
+	return s.Service + " " + s.Name + " " + string(s.Kind)
+}
+
+// Encode produces the feature encoding of tr.
+func (enc *Encoder) Encode(tr *trace.Trace) *Encoded {
+	n := tr.Len()
+	e := &Encoded{
+		Trace:   tr,
+		Parents: make([]int, n),
+		X:       make([][]float64, n),
+		XStar:   make([][]float64, n),
+	}
+	for i, s := range tr.Spans {
+		e.Parents[i] = tr.Parent(i)
+		emb := enc.Emb.Embed(spanText(s))
+		x := make([]float64, 2+len(emb))
+		x[0] = ScaleDuration(s.Duration())
+		if s.Error {
+			x[1] = 1
+		}
+		copy(x[2:], emb)
+		e.X[i] = x
+
+		xs := make([]float64, 2+len(emb))
+		xs[0] = ScaleDuration(tr.ExclusiveDuration(i))
+		if tr.ExclusiveError(i) {
+			xs[1] = 1
+		}
+		copy(xs[2:], emb)
+		e.XStar[i] = xs
+	}
+	return e
+}
+
+// EncodeAll encodes a batch of traces.
+func (enc *Encoder) EncodeAll(trs []*trace.Trace) []*Encoded {
+	out := make([]*Encoded, len(trs))
+	for i, tr := range trs {
+		out[i] = enc.Encode(tr)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+func TestScaleDurationReference(t *testing.T) {
+	// 10^4 µs (10ms) is exactly the global mean → scaled 0.
+	if got := ScaleDuration(10000); math.Abs(got) > 1e-12 {
+		t.Fatalf("ScaleDuration(10000) = %v, want 0", got)
+	}
+	// One decade above the mean → +1.
+	if got := ScaleDuration(100000); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ScaleDuration(100000) = %v, want 1", got)
+	}
+	// Clamp: non-positive durations behave as 1µs.
+	if got := ScaleDuration(0); got != ScaleDuration(1) {
+		t.Fatalf("clamping failed: %v vs %v", got, ScaleDuration(1))
+	}
+}
+
+func TestScaleUnscaleRoundTrip(t *testing.T) {
+	check := func(raw uint32) bool {
+		d := int64(raw%10_000_000) + 1
+		back := UnscaleDuration(ScaleDuration(d))
+		return math.Abs(back-float64(d))/float64(d) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"GetUserProfile", "get user profile"},
+		{"HTTP", "http"},
+		{"redis.GET", "redis get"},
+		{"order-service", "order service"},
+		{"span_0123456789abcdef", "span hexid"},
+		{"deadbeefdeadbeef", "hexid"},
+		{"shorthex", "shorthex"}, // letters only, no digit → not hex
+		{"abc123", "abc123"},     // short, not replaced
+		{"", ""},
+		{"Compose/Post::v2", "compose post v2"},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEmbedderDeterministicAndCached(t *testing.T) {
+	e := NewEmbedder(16)
+	a := e.Embed("GetUser")
+	b := e.Embed("GetUser")
+	if &a[0] != &b[0] {
+		t.Fatal("identical text should share one cached vector")
+	}
+	e2 := NewEmbedder(16)
+	c := e2.Embed("GetUser")
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("embedding not deterministic across embedders")
+		}
+	}
+	if e.RegistrySize() != 1 {
+		t.Fatalf("registry size = %d", e.RegistrySize())
+	}
+}
+
+func TestEmbedderSemanticNeighborhood(t *testing.T) {
+	e := NewEmbedder(64)
+	getUser := e.Embed("GetUserProfile")
+	getUserV2 := e.Embed("GetUserProfileV2")
+	unrelated := e.Embed("FlushDiskCache")
+	simNear := Cosine(getUser, getUserV2)
+	simFar := Cosine(getUser, unrelated)
+	if simNear <= simFar {
+		t.Fatalf("similar names not closer: near=%v far=%v", simNear, simFar)
+	}
+	if simNear < 0.5 {
+		t.Fatalf("near-identical names similarity too low: %v", simNear)
+	}
+}
+
+func TestEmbedderUnitNorm(t *testing.T) {
+	e := NewEmbedder(32)
+	for _, s := range []string{"GetUser", "a", "ComposePost", "redis.SET key"} {
+		v := e.Embed(s)
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("embedding of %q has norm² %v", s, norm)
+		}
+	}
+	// Empty text embeds to the zero vector without panicking.
+	z := e.Embed("")
+	for _, x := range z {
+		if x != 0 {
+			t.Fatal("empty text should embed to zeros")
+		}
+	}
+}
+
+func TestEmbedderConcurrentAccess(t *testing.T) {
+	e := NewEmbedder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Embed(fmt.Sprintf("op%d", i%20))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.RegistrySize() != 20 {
+		t.Fatalf("registry size = %d, want 20", e.RegistrySize())
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical cosine = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func buildTestTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	spans := []*trace.Span{
+		{TraceID: "t", SpanID: "r", Service: "frontend", Name: "HandleRequest", Kind: trace.KindServer, Start: 0, End: 100000},
+		{TraceID: "t", SpanID: "c1", ParentID: "r", Service: "backend", Name: "Query", Kind: trace.KindClient, Start: 10000, End: 60000, Error: true},
+		{TraceID: "t", SpanID: "c2", ParentID: "r", Service: "cache", Name: "Get", Kind: trace.KindClient, Start: 10000, End: 20000},
+	}
+	tr, err := trace.Assemble(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEncodeShapesAndValues(t *testing.T) {
+	tr := buildTestTrace(t)
+	enc := NewEncoder(NewEmbedder(8))
+	e := enc.Encode(tr)
+	if len(e.X) != 3 || len(e.XStar) != 3 || len(e.Parents) != 3 {
+		t.Fatalf("encoded sizes wrong: %d %d %d", len(e.X), len(e.XStar), len(e.Parents))
+	}
+	if e.NodeDim() != 10 {
+		t.Fatalf("NodeDim = %d, want 10", e.NodeDim())
+	}
+	var rootIdx, errIdx int = -1, -1
+	for i, s := range tr.Spans {
+		if s.SpanID == "r" {
+			rootIdx = i
+		}
+		if s.SpanID == "c1" {
+			errIdx = i
+		}
+	}
+	// Root duration 100000µs → scaled 1.
+	if math.Abs(e.X[rootIdx][0]-1) > 1e-9 {
+		t.Fatalf("root scaled duration = %v", e.X[rootIdx][0])
+	}
+	if e.X[errIdx][1] != 1 {
+		t.Fatal("error flag not encoded")
+	}
+	if e.X[rootIdx][1] != 0 {
+		t.Fatal("non-error span has error flag")
+	}
+	// Exclusive error of the error leaf is 1 (no erroring children).
+	if e.XStar[errIdx][1] != 1 {
+		t.Fatal("exclusive error not encoded")
+	}
+	// Parents mirror the trace structure.
+	if e.Parents[rootIdx] != -1 {
+		t.Fatal("root parent not -1")
+	}
+	for i := range tr.Spans {
+		if e.Parents[i] != tr.Parent(i) {
+			t.Fatal("parents diverge from trace")
+		}
+	}
+}
+
+func TestEncodeSharesEmbeddings(t *testing.T) {
+	// Two spans with the same (service, name, kind) must reference the same
+	// registry entry — the paper's storage optimisation.
+	spans := []*trace.Span{
+		{TraceID: "t", SpanID: "r", Service: "s", Name: "op", Kind: trace.KindServer, Start: 0, End: 100},
+		{TraceID: "t", SpanID: "a", ParentID: "r", Service: "redis", Name: "GET", Kind: trace.KindClient, Start: 1, End: 10},
+		{TraceID: "t", SpanID: "b", ParentID: "r", Service: "redis", Name: "GET", Kind: trace.KindClient, Start: 20, End: 30},
+	}
+	tr, err := trace.Assemble(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := NewEmbedder(8)
+	NewEncoder(emb).Encode(tr)
+	if emb.RegistrySize() != 2 {
+		t.Fatalf("registry size = %d, want 2 distinct span texts", emb.RegistrySize())
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	tr := buildTestTrace(t)
+	enc := NewEncoder(NewEmbedder(8))
+	all := enc.EncodeAll([]*trace.Trace{tr, tr})
+	if len(all) != 2 {
+		t.Fatalf("EncodeAll = %d", len(all))
+	}
+}
+
+func BenchmarkEmbedCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEmbedder(32)
+		e.Embed("GetUserProfileFromDatabase")
+	}
+}
+
+func BenchmarkEncodeTrace(b *testing.B) {
+	spans := []*trace.Span{
+		{TraceID: "t", SpanID: "r", Service: "frontend", Name: "Handle", Kind: trace.KindServer, Start: 0, End: 100000},
+	}
+	for i := 0; i < 50; i++ {
+		spans = append(spans, &trace.Span{
+			TraceID: "t", SpanID: fmt.Sprintf("c%d", i), ParentID: "r",
+			Service: fmt.Sprintf("svc%d", i%10), Name: "op", Kind: trace.KindClient,
+			Start: int64(i * 100), End: int64(i*100 + 500),
+		})
+	}
+	tr, err := trace.Assemble(spans)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := NewEncoder(NewEmbedder(32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Encode(tr)
+	}
+}

@@ -1,0 +1,404 @@
+// Package modelserver implements the centralized model server of §4: it
+// maintains the life cycle of Sleuth models — creation, storage, update,
+// inheritance (fine-tuned children recording their parent) and retirement
+// — and serves them to training and inference workers over HTTP.
+//
+// Models are stored as versioned entries under a directory; metadata lives
+// in a JSON manifest next to the model blobs.
+package modelserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/core"
+)
+
+// ModelInfo is the metadata of one stored model version.
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// ParentName/ParentVersion record inheritance (fine-tuned from).
+	ParentName    string `json:"parentName,omitempty"`
+	ParentVersion int    `json:"parentVersion,omitempty"`
+	// TrainedOn is a free-form provenance note (app name, sample count).
+	TrainedOn string `json:"trainedOn,omitempty"`
+	// Retired models are kept for lineage but not served as latest.
+	Retired bool `json:"retired,omitempty"`
+	// CreatedUnix is the registration time (seconds).
+	CreatedUnix int64 `json:"createdUnix"`
+	// Params is the parameter count (for capacity planning).
+	Params int `json:"params"`
+}
+
+// Registry is the on-disk model store.
+type Registry struct {
+	dir string
+
+	mu       sync.RWMutex
+	manifest map[string][]ModelInfo // name → versions ascending
+}
+
+// manifestFile is the registry metadata file name.
+const manifestFile = "manifest.json"
+
+// Open creates or opens a registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &Registry{dir: dir, manifest: map[string][]ModelInfo{}}
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return r, nil
+	case err != nil:
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &r.manifest); err != nil {
+		return nil, fmt.Errorf("modelserver: corrupt manifest: %w", err)
+	}
+	return r, nil
+}
+
+// save persists the manifest (callers hold the write lock).
+func (r *Registry) save() error {
+	data, err := json.MarshalIndent(r.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(r.dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.dir, manifestFile))
+}
+
+// blobPath returns the model blob location for a version.
+func (r *Registry) blobPath(name string, version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%s@%d.gob", sanitize(name), version))
+}
+
+// sanitize keeps names filesystem-safe.
+func sanitize(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			return c
+		}
+		return '_'
+	}, name)
+}
+
+// Publish stores a new version of the named model and returns its info.
+// parent may be nil for models trained from scratch.
+func (r *Registry) Publish(name string, m *core.Model, trainedOn string, parent *ModelInfo) (ModelInfo, error) {
+	if name == "" {
+		return ModelInfo{}, errors.New("modelserver: empty model name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.manifest[name]
+	info := ModelInfo{
+		Name:        name,
+		Version:     len(versions) + 1,
+		TrainedOn:   trainedOn,
+		CreatedUnix: time.Now().Unix(),
+		Params:      m.NumParams(),
+	}
+	if parent != nil {
+		info.ParentName = parent.Name
+		info.ParentVersion = parent.Version
+	}
+	f, err := os.Create(r.blobPath(name, info.Version))
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return ModelInfo{}, err
+	}
+	if err := f.Close(); err != nil {
+		return ModelInfo{}, err
+	}
+	r.manifest[name] = append(versions, info)
+	if err := r.save(); err != nil {
+		return ModelInfo{}, err
+	}
+	return info, nil
+}
+
+// ErrNotFound reports a missing model or version.
+var ErrNotFound = errors.New("modelserver: model not found")
+
+// Get loads a specific version.
+func (r *Registry) Get(name string, version int) (*core.Model, ModelInfo, error) {
+	r.mu.RLock()
+	info, ok := r.find(name, version)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, ModelInfo{}, ErrNotFound
+	}
+	m, err := core.LoadFile(r.blobPath(name, info.Version))
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return m, info, nil
+}
+
+// Latest loads the newest non-retired version of the named model.
+func (r *Registry) Latest(name string) (*core.Model, ModelInfo, error) {
+	r.mu.RLock()
+	versions := r.manifest[name]
+	var info ModelInfo
+	found := false
+	for i := len(versions) - 1; i >= 0; i-- {
+		if !versions[i].Retired {
+			info = versions[i]
+			found = true
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if !found {
+		return nil, ModelInfo{}, ErrNotFound
+	}
+	m, err := core.LoadFile(r.blobPath(name, info.Version))
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return m, info, nil
+}
+
+func (r *Registry) find(name string, version int) (ModelInfo, bool) {
+	for _, info := range r.manifest[name] {
+		if info.Version == version {
+			return info, true
+		}
+	}
+	return ModelInfo{}, false
+}
+
+// Retire marks a version as retired (kept for lineage, no longer latest).
+func (r *Registry) Retire(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.manifest[name]
+	for i := range versions {
+		if versions[i].Version == version {
+			versions[i].Retired = true
+			return r.save()
+		}
+	}
+	return ErrNotFound
+}
+
+// List returns all model infos, sorted by name then version.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ModelInfo
+	for _, versions := range r.manifest {
+		out = append(out, versions...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Lineage returns the chain of ancestors of a version, nearest first.
+func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.find(name, version)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	var chain []ModelInfo
+	seen := map[string]bool{}
+	for info.ParentName != "" {
+		key := fmt.Sprintf("%s@%d", info.ParentName, info.ParentVersion)
+		if seen[key] {
+			break // defensive: corrupt manifests must not loop forever
+		}
+		seen[key] = true
+		parent, ok := r.find(info.ParentName, info.ParentVersion)
+		if !ok {
+			break
+		}
+		chain = append(chain, parent)
+		info = parent
+	}
+	return chain, nil
+}
+
+// Server exposes the registry over HTTP:
+//
+//	GET  /models                         list
+//	GET  /models/{name}/latest           model blob (gob)
+//	GET  /models/{name}/{version}        model blob (gob)
+//	GET  /models/{name}/{version}/lineage  ancestor list (JSON)
+//	POST /models/{name}?trainedOn=...&parent={name}@{version}   publish blob
+//	POST /models/{name}/{version}/retire   retire
+type Server struct {
+	Registry *Registry
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/models", s.handleList)
+	mux.HandleFunc("/models/", s.handleModel)
+	return mux
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, s.Registry.List())
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, req *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(req.URL.Path, "/models/"), "/")
+	if len(parts) == 0 || parts[0] == "" {
+		http.Error(w, "model name required", http.StatusBadRequest)
+		return
+	}
+	name := parts[0]
+	switch {
+	case req.Method == http.MethodPost && len(parts) == 1:
+		s.publish(w, req, name)
+	case req.Method == http.MethodPost && len(parts) == 3 && parts[2] == "retire":
+		s.retire(w, name, parts[1])
+	case req.Method == http.MethodGet && len(parts) == 2:
+		s.fetch(w, name, parts[1])
+	case req.Method == http.MethodGet && len(parts) == 3 && parts[2] == "lineage":
+		s.lineage(w, name, parts[1])
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) publish(w http.ResponseWriter, req *http.Request, name string) {
+	m, err := core.Load(io.LimitReader(req.Body, 256<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var parent *ModelInfo
+	if p := req.URL.Query().Get("parent"); p != "" {
+		pname, pver, ok := parseRef(p)
+		if !ok {
+			http.Error(w, "bad parent ref, want name@version", http.StatusBadRequest)
+			return
+		}
+		s.Registry.mu.RLock()
+		info, found := s.Registry.find(pname, pver)
+		s.Registry.mu.RUnlock()
+		if !found {
+			http.Error(w, "parent not found", http.StatusBadRequest)
+			return
+		}
+		parent = &info
+	}
+	info, err := s.Registry.Publish(name, m, req.URL.Query().Get("trainedOn"), parent)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) fetch(w http.ResponseWriter, name, versionStr string) {
+	var (
+		m   *core.Model
+		err error
+	)
+	if versionStr == "latest" {
+		m, _, err = s.Registry.Latest(name)
+	} else {
+		v, perr := strconv.Atoi(versionStr)
+		if perr != nil {
+			http.Error(w, "bad version", http.StatusBadRequest)
+			return
+		}
+		m, _, err = s.Registry.Get(name, v)
+	}
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := m.Save(w); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) retire(w http.ResponseWriter, name, versionStr string) {
+	v, err := strconv.Atoi(versionStr)
+	if err != nil {
+		http.Error(w, "bad version", http.StatusBadRequest)
+		return
+	}
+	if err := s.Registry.Retire(name, v); errors.Is(err, ErrNotFound) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	} else if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) lineage(w http.ResponseWriter, name, versionStr string) {
+	v, err := strconv.Atoi(versionStr)
+	if err != nil {
+		http.Error(w, "bad version", http.StatusBadRequest)
+		return
+	}
+	chain, err := s.Registry.Lineage(name, v)
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	} else if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, chain)
+}
+
+// parseRef splits "name@version".
+func parseRef(s string) (string, int, bool) {
+	i := strings.LastIndexByte(s, '@')
+	if i <= 0 {
+		return "", 0, false
+	}
+	v, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return s[:i], v, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,317 @@
+package modelserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+)
+
+func trainedModel(t *testing.T, seed uint64) *core.Model {
+	t.Helper()
+	app := synth.Synthetic(16, seed)
+	s := sim.New(app, sim.DefaultOptions(seed))
+	res, err := s.Run(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewModel(core.Config{EmbeddingDim: 8, Hidden: 16, Seed: seed})
+	if _, err := m.Train(sim.Traces(res), core.TrainOptions{Epochs: 1, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegistryPublishGetLatest(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedModel(t, 1)
+	info1, err := reg.Publish("prod", m, "synthetic-16", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Version != 1 || info1.Params != m.NumParams() {
+		t.Fatalf("info = %+v", info1)
+	}
+	info2, err := reg.Publish("prod", m, "synthetic-16 v2", &info1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version != 2 || info2.ParentVersion != 1 {
+		t.Fatalf("info2 = %+v", info2)
+	}
+	_, got, err := reg.Latest("prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("latest = v%d", got.Version)
+	}
+	loaded, _, err := reg.Get("prod", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Fatal("loaded model differs")
+	}
+}
+
+func TestRegistryRetire(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedModel(t, 2)
+	i1, _ := reg.Publish("app", m, "", nil)
+	i2, _ := reg.Publish("app", m, "", &i1)
+	if err := reg.Retire("app", i2.Version); err != nil {
+		t.Fatal(err)
+	}
+	_, latest, err := reg.Latest("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != 1 {
+		t.Fatalf("latest after retire = v%d", latest.Version)
+	}
+	if err := reg.Retire("app", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Latest("app"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("all-retired Latest err = %v", err)
+	}
+	if err := reg.Retire("app", 99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("retire missing version err = %v", err)
+	}
+}
+
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedModel(t, 3)
+	i1, _ := reg.Publish("a", m, "first", nil)
+	reg.Publish("a", m, "second", &i1)
+	reg.Publish("b", m, "other", nil)
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := reopened.List()
+	if len(list) != 3 {
+		t.Fatalf("reopened list = %d entries", len(list))
+	}
+	chain, err := reopened.Lineage("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Version != 1 {
+		t.Fatalf("lineage = %+v", chain)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("", trainedModel(t, 4), "", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, _, err := reg.Get("missing", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+	if _, _, err := reg.Latest("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest missing err = %v", err)
+	}
+	if _, err := reg.Lineage("missing", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lineage missing err = %v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("prod/app v1"); got != "prod_app_v1" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer srv.Close()
+
+	m := trainedModel(t, 5)
+	var blob bytes.Buffer
+	if err := m.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	blobBytes := blob.Bytes()
+
+	// Publish v1.
+	resp, err := http.Post(srv.URL+"/models/prod?trainedOn=synthetic-16", "application/octet-stream", bytes.NewReader(blobBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Version != 1 || info.TrainedOn != "synthetic-16" {
+		t.Fatalf("published info = %+v", info)
+	}
+
+	// Publish v2 with parentage.
+	resp, err = http.Post(srv.URL+"/models/prod?parent=prod@1", "application/octet-stream", bytes.NewReader(blobBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// List.
+	resp, err = http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 2 {
+		t.Fatalf("list = %d", len(list))
+	}
+
+	// Fetch latest and round-trip through core.Load.
+	resp, err = http.Get(srv.URL + "/models/prod/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	loaded, err := core.Load(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Fatal("fetched model differs")
+	}
+
+	// Lineage of v2.
+	resp, err = http.Get(srv.URL + "/models/prod/2/lineage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&chain); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(chain) != 1 || chain[0].Version != 1 {
+		t.Fatalf("lineage = %+v", chain)
+	}
+
+	// Retire v2 → latest becomes v1.
+	resp, err = http.Post(srv.URL+"/models/prod/2/retire", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("retire status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/models/prod/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get v1 status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		method, path string
+		body         io.Reader
+		wantStatus   int
+	}{
+		{"GET", "/models/none/latest", nil, http.StatusNotFound},
+		{"GET", "/models/none/7", nil, http.StatusNotFound},
+		{"GET", "/models/none/notanumber", nil, http.StatusBadRequest},
+		{"POST", "/models/x", bytes.NewBufferString("garbage"), http.StatusBadRequest},
+		{"POST", "/models/x/1/retire", nil, http.StatusNotFound},
+		{"DELETE", "/models/x/1", nil, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, c.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+	// Bad parent ref.
+	m := trainedModel(t, 6)
+	var blob bytes.Buffer
+	if err := m.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/models/x?parent=bogus", "application/octet-stream", &blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad parent status = %d", resp.StatusCode)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		ver  int
+		ok   bool
+	}{
+		{"prod@3", "prod", 3, true},
+		{"a@b@2", "a@b", 2, true},
+		{"noversion", "", 0, false},
+		{"@1", "", 0, false},
+		{"x@notint", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ver, ok := parseRef(c.in)
+		if ok != c.ok || (ok && (name != c.name || ver != c.ver)) {
+			t.Errorf("parseRef(%q) = %q %d %v", c.in, name, ver, ok)
+		}
+	}
+}

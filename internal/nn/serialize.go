@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint is the on-disk representation of a trained model: its
+// parameter values plus free-form metadata (architecture dims, feature
+// config, training provenance). The model server in the paper stores these
+// in a central object database; here they travel through gob.
+type Checkpoint struct {
+	Format string
+	Meta   map[string]string
+	Params map[string][]float64
+}
+
+// checkpointFormat identifies the serialization layout.
+const checkpointFormat = "sleuth-checkpoint-v1"
+
+// SaveCheckpoint writes a module's parameters and metadata to w.
+func SaveCheckpoint(w io.Writer, m Module, meta map[string]string) error {
+	cp := Checkpoint{
+		Format: checkpointFormat,
+		Meta:   meta,
+		Params: StateDict(m),
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadCheckpoint reads a checkpoint from r without applying it.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if cp.Format != checkpointFormat {
+		return nil, fmt.Errorf("nn: unknown checkpoint format %q", cp.Format)
+	}
+	return &cp, nil
+}
+
+// LoadInto reads a checkpoint from r and applies its parameters to m.
+func LoadInto(r io.Reader, m Module) (*Checkpoint, error) {
+	cp, err := LoadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadStateDict(m, cp.Params); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// SaveFile writes a checkpoint to path, creating or truncating the file.
+func SaveFile(path string, m Module, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveCheckpoint(f, m, meta); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a checkpoint from path and applies it to m.
+func LoadFile(path string, m Module) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadInto(f, m)
+}

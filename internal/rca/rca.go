@@ -1,0 +1,258 @@
+// Package rca implements root-cause localisation over traces.
+//
+// It defines the Algorithm interface shared by Sleuth and every baseline
+// comparator, and the Sleuth localiser itself (§3.5): spans are aggregated
+// by service with client spans affiliating to their callee services,
+// candidates are ranked by exclusive errors plus excess exclusive duration
+// against the learned normal state, and root causes are confirmed by
+// iteratively restoring candidates and asking the GNN counterfactual
+// whether the trace would have been normal.
+package rca
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Algorithm is a trace RCA method: given an anomalous trace and the SLO it
+// violated, predict the set of root-cause services. Prepare receives
+// normal-operation traces for calibration or training.
+type Algorithm interface {
+	Name() string
+	Prepare(train []*trace.Trace) error
+	Localize(tr *trace.Trace, sloMicros float64) []string
+}
+
+// Options tunes the Sleuth localiser.
+type Options struct {
+	// MaxCandidates bounds how many services are restored before giving
+	// up and reporting the top-ranked candidate alone.
+	MaxCandidates int
+	// ErrThreshold is the predicted error probability above which the
+	// counterfactual trace still counts as failing.
+	ErrThreshold float64
+	// ErrScoreWeight weighs one exclusive error against a decade of
+	// excess exclusive duration in candidate ranking.
+	ErrScoreWeight float64
+}
+
+// DefaultOptions returns the shipped localiser configuration.
+func DefaultOptions() Options {
+	return Options{MaxCandidates: 5, ErrThreshold: 0.5, ErrScoreWeight: 3}
+}
+
+// Localizer is Sleuth's counterfactual root-cause analyser.
+type Localizer struct {
+	Model *core.Model
+	Opts  Options
+}
+
+// NewLocalizer wraps a trained model.
+func NewLocalizer(m *core.Model, opts Options) *Localizer {
+	if opts.MaxCandidates <= 0 {
+		opts = DefaultOptions()
+	}
+	return &Localizer{Model: m, Opts: opts}
+}
+
+// Name implements Algorithm.
+func (l *Localizer) Name() string { return "Sleuth" }
+
+// Prepare implements Algorithm: the model's normal-state statistics are
+// refreshed from the provided traces (the weights are trained separately,
+// or transferred pre-trained).
+func (l *Localizer) Prepare(train []*trace.Trace) error {
+	l.Model.SetNormals(train)
+	return nil
+}
+
+// candidate is a service with its anomaly evidence.
+type candidate struct {
+	service string
+	score   float64
+	// spans lists the span indexes restored when this candidate is
+	// restored (its affiliated spans).
+	spans []int
+}
+
+// Candidates aggregates spans by service (§3.5): a client span affiliates
+// with its own service and with the services of its children, so that
+// network failures on the link into a child are attributable to the child.
+// Candidates are ranked by exclusive errors plus excess exclusive duration
+// relative to the model's normal state.
+func (l *Localizer) Candidates(tr *trace.Trace) []candidate {
+	byService := make(map[string]*candidate)
+	get := func(name string) *candidate {
+		c, ok := byService[name]
+		if !ok {
+			c = &candidate{service: name}
+			byService[name] = c
+		}
+		return c
+	}
+	affiliate := func(svc string, spanIdx int) {
+		c := get(svc)
+		c.spans = append(c.spans, spanIdx)
+	}
+	for i, sp := range tr.Spans {
+		affiliate(sp.Service, i)
+		if sp.Kind == trace.KindClient {
+			for _, child := range tr.Children(i) {
+				if cs := tr.Spans[child].Service; cs != sp.Service {
+					affiliate(cs, i)
+				}
+			}
+		}
+	}
+	// Score: exclusive errors weigh ErrScoreWeight each; excess exclusive
+	// duration counts in decades above the operation's normal median.
+	//
+	// Evidence on a client span is attributed to the callee services, not
+	// the caller: a client span's exclusive duration is transport time and
+	// its exclusive error (an error its server child does not carry) is a
+	// link or callee-side failure — the network-failure case §3.5 singles
+	// out. The caller's own problems surface on its server span instead.
+	score := func(i int) float64 {
+		s := 0.0
+		if tr.ExclusiveError(i) {
+			s += l.Opts.ErrScoreWeight
+		}
+		norm := l.Model.Normal(tr.Spans[i].OpKey())
+		if norm.MedianExclusiveDuration > 0 {
+			if ratio := float64(tr.ExclusiveDuration(i)) / norm.MedianExclusiveDuration; ratio > 1 {
+				s += math.Log10(ratio)
+			}
+		}
+		return s
+	}
+	for i, sp := range tr.Spans {
+		s := score(i)
+		if s == 0 {
+			continue
+		}
+		if sp.Kind == trace.KindClient {
+			credited := false
+			for _, child := range tr.Children(i) {
+				if cs := tr.Spans[child].Service; cs != sp.Service {
+					get(cs).score += s
+					credited = true
+				}
+			}
+			if !credited {
+				get(sp.Service).score += s
+			}
+			continue
+		}
+		get(sp.Service).score += s
+	}
+	out := make([]candidate, 0, len(byService))
+	for _, c := range byService {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].score != out[b].score {
+			return out[a].score > out[b].score
+		}
+		return out[a].service < out[b].service
+	})
+	return out
+}
+
+// Result is a localisation outcome.
+type Result struct {
+	// Services are the predicted root-cause services (restoration set
+	// that normalised the counterfactual trace).
+	Services []string
+	// Pods and Nodes are the instances hosting those services in this
+	// trace (§3.5's instance mapping).
+	Pods  []string
+	Nodes []string
+	// Normalized reports whether the counterfactual reached a normal
+	// state within MaxCandidates restorations.
+	Normalized bool
+	// PredictedDuration is the counterfactual duration with the final
+	// restoration set applied (µs).
+	PredictedDuration float64
+}
+
+// Localize implements Algorithm.
+func (l *Localizer) Localize(tr *trace.Trace, sloMicros float64) []string {
+	return l.LocalizeDetailed(tr, sloMicros).Services
+}
+
+// LocalizeDetailed runs the full §3.5 loop and returns instance mappings.
+func (l *Localizer) LocalizeDetailed(tr *trace.Trace, sloMicros float64) Result {
+	cands := l.Candidates(tr)
+	if len(cands) == 0 {
+		return Result{}
+	}
+	max := l.Opts.MaxCandidates
+	if max > len(cands) {
+		max = len(cands)
+	}
+	restored := make(map[int]bool)
+	var used []string
+	for k := 0; k < max; k++ {
+		for _, si := range cands[k].spans {
+			restored[si] = true
+		}
+		used = append(used, cands[k].service)
+		cf := l.Model.Counterfactual(tr, restored)
+		if cf.RootDurationMicros <= sloMicros && cf.RootErrorProb < l.Opts.ErrThreshold {
+			return l.result(tr, used, true, cf.RootDurationMicros)
+		}
+	}
+	// Never normalised: report only the top candidate — the remaining
+	// excess is not explained by restorations, so piling on candidates
+	// would only cost precision.
+	cf := l.Model.Counterfactual(tr, spanSet(cands[0].spans))
+	return l.result(tr, []string{cands[0].service}, false, cf.RootDurationMicros)
+}
+
+func spanSet(idx []int) map[int]bool {
+	m := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		m[i] = true
+	}
+	return m
+}
+
+// result maps services back to pods and nodes via the trace's spans.
+func (l *Localizer) result(tr *trace.Trace, services []string, normalized bool, dur float64) Result {
+	svcSet := make(map[string]bool, len(services))
+	for _, s := range services {
+		svcSet[s] = true
+	}
+	podSet := map[string]bool{}
+	nodeSet := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if svcSet[sp.Service] {
+			if sp.Pod != "" {
+				podSet[sp.Pod] = true
+			}
+			if sp.Node != "" {
+				nodeSet[sp.Node] = true
+			}
+		}
+	}
+	sort.Strings(services)
+	return Result{
+		Services:          services,
+		Pods:              sortedKeys(podSet),
+		Nodes:             sortedKeys(nodeSet),
+		Normalized:        normalized,
+		PredictedDuration: dur,
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

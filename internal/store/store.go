@@ -1,0 +1,284 @@
+// Package store implements the distributed trace storage engine of §4 at
+// single-process scale: append-oriented span storage with trace/service/
+// time indexes, predicate queries with parallel scans, derived per-
+// operation statistics (the computations the paper offloads to SQL
+// operators — exclusive durations, medians, percentiles), and JSONL
+// persistence.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/sleuth-rca/sleuth/internal/stats"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// Store is a thread-safe trace store.
+type Store struct {
+	mu sync.RWMutex
+
+	// spans grouped by trace ID, insertion-ordered trace list.
+	byTrace map[string][]*trace.Span
+	order   []string
+
+	// service index: service name → trace IDs containing it.
+	byService map[string]map[string]struct{}
+
+	spanCount int
+}
+
+// New creates an empty Store.
+func New() *Store {
+	return &Store{
+		byTrace:   make(map[string][]*trace.Span),
+		byService: make(map[string]map[string]struct{}),
+	}
+}
+
+// AddSpans ingests spans (any mix of traces, any order).
+func (s *Store) AddSpans(spans []*trace.Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range spans {
+		if _, ok := s.byTrace[sp.TraceID]; !ok {
+			s.order = append(s.order, sp.TraceID)
+		}
+		s.byTrace[sp.TraceID] = append(s.byTrace[sp.TraceID], sp)
+		set, ok := s.byService[sp.Service]
+		if !ok {
+			set = make(map[string]struct{})
+			s.byService[sp.Service] = set
+		}
+		set[sp.TraceID] = struct{}{}
+		s.spanCount++
+	}
+}
+
+// AddTrace ingests an assembled trace.
+func (s *Store) AddTrace(tr *trace.Trace) { s.AddSpans(tr.Spans) }
+
+// SpanCount returns the number of stored spans.
+func (s *Store) SpanCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.spanCount
+}
+
+// TraceCount returns the number of stored traces.
+func (s *Store) TraceCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+// Query filters traces. Zero values mean "no constraint".
+type Query struct {
+	// TraceIDs restricts to specific traces.
+	TraceIDs []string
+	// Service restricts to traces touching the service (index-accelerated).
+	Service string
+	// MinStart/MaxStart bound the root span start time (µs).
+	MinStart, MaxStart int64
+	// OnlyErrors keeps traces containing at least one error span.
+	OnlyErrors bool
+	// MinRootDuration keeps traces at least this slow end-to-end (µs).
+	MinRootDuration int64
+	// Limit caps the number of returned traces (0 = unlimited).
+	Limit int
+}
+
+// Traces runs a query, assembling matching traces. Invalid span groups
+// (failed assembly) are skipped.
+func (s *Store) Traces(q Query) []*trace.Trace {
+	s.mu.RLock()
+	// Snapshot candidate IDs under the lock.
+	var ids []string
+	switch {
+	case len(q.TraceIDs) > 0:
+		ids = append(ids, q.TraceIDs...)
+	case q.Service != "":
+		for id := range s.byService[q.Service] {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	default:
+		ids = append(ids, s.order...)
+	}
+	groups := make([][]*trace.Span, 0, len(ids))
+	for _, id := range ids {
+		if spans, ok := s.byTrace[id]; ok {
+			groups = append(groups, append([]*trace.Span(nil), spans...))
+		}
+	}
+	s.mu.RUnlock()
+
+	var out []*trace.Trace
+	for _, group := range groups {
+		tr, err := trace.Assemble(group)
+		if err != nil {
+			continue
+		}
+		if !matches(tr, q) {
+			continue
+		}
+		out = append(out, tr)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+func matches(tr *trace.Trace, q Query) bool {
+	if len(tr.Roots()) == 0 {
+		return false
+	}
+	root := tr.Spans[tr.Roots()[0]]
+	if q.MinStart != 0 && root.Start < q.MinStart {
+		return false
+	}
+	if q.MaxStart != 0 && root.Start > q.MaxStart {
+		return false
+	}
+	if q.OnlyErrors && !tr.HasError() {
+		return false
+	}
+	if q.MinRootDuration != 0 && tr.RootDuration() < q.MinRootDuration {
+		return false
+	}
+	return true
+}
+
+// OpSummary is a derived per-operation statistics row (the "SQL-offloaded"
+// aggregate the RCA pipeline consumes for normal states and thresholds).
+type OpSummary struct {
+	OpKey  string
+	Count  int
+	Median float64
+	P95    float64
+	P99    float64
+	// MedianExclusive is the median exclusive duration.
+	MedianExclusive float64
+	ErrorRate       float64
+}
+
+// OpSummaries computes per-operation aggregates over the whole store.
+func (s *Store) OpSummaries() []OpSummary {
+	traces := s.Traces(Query{})
+	durs := map[string][]float64{}
+	excl := map[string][]float64{}
+	errs := map[string]int{}
+	for _, tr := range traces {
+		for i, sp := range tr.Spans {
+			k := sp.OpKey()
+			durs[k] = append(durs[k], float64(sp.Duration()))
+			excl[k] = append(excl[k], float64(tr.ExclusiveDuration(i)))
+			if sp.Error {
+				errs[k]++
+			}
+		}
+	}
+	keys := make([]string, 0, len(durs))
+	for k := range durs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]OpSummary, 0, len(keys))
+	for _, k := range keys {
+		ds := durs[k]
+		out = append(out, OpSummary{
+			OpKey:           k,
+			Count:           len(ds),
+			Median:          stats.Percentile(ds, 50),
+			P95:             stats.Percentile(ds, 95),
+			P99:             stats.Percentile(ds, 99),
+			MedianExclusive: stats.Percentile(excl[k], 50),
+			ErrorRate:       float64(errs[k]) / float64(len(ds)),
+		})
+	}
+	return out
+}
+
+// SaveJSONL writes every span as one JSON line.
+func (s *Store) SaveJSONL(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range s.order {
+		for _, sp := range s.byTrace[id] {
+			if err := enc.Encode(sp); err != nil {
+				return fmt.Errorf("store: encoding span: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadJSONL ingests spans from a JSONL stream.
+func (s *Store) LoadJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var batch []*trace.Span
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sp trace.Span
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return fmt.Errorf("store: parsing span line: %w", err)
+		}
+		cp := sp
+		batch = append(batch, &cp)
+		if len(batch) >= 4096 {
+			s.AddSpans(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		s.AddSpans(batch)
+	}
+	return sc.Err()
+}
+
+// SaveFile writes the store to a JSONL file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.SaveJSONL(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a JSONL file into the store.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadJSONL(f)
+}
+
+// Services returns the sorted service names present in the store.
+func (s *Store) Services() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byService))
+	for svc := range s.byService {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}

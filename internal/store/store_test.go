@@ -1,0 +1,213 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/chaos"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+)
+
+func populated(t *testing.T, n int) (*Store, *sim.Simulator) {
+	t.Helper()
+	app := synth.Synthetic(16, 1)
+	s := sim.New(app, sim.DefaultOptions(1))
+	results, err := s.Run(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New()
+	for _, r := range results {
+		st.AddTrace(r.Trace)
+	}
+	return st, s
+}
+
+func TestAddAndCounts(t *testing.T) {
+	st, _ := populated(t, 30)
+	if st.TraceCount() != 30 {
+		t.Fatalf("TraceCount = %d", st.TraceCount())
+	}
+	if st.SpanCount() < 60 {
+		t.Fatalf("SpanCount = %d", st.SpanCount())
+	}
+	if len(st.Services()) == 0 {
+		t.Fatal("no services indexed")
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	st, _ := populated(t, 25)
+	traces := st.Traces(Query{})
+	if len(traces) != 25 {
+		t.Fatalf("query-all returned %d", len(traces))
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	st, _ := populated(t, 25)
+	if got := len(st.Traces(Query{Limit: 7})); got != 7 {
+		t.Fatalf("limit query returned %d", got)
+	}
+}
+
+func TestQueryByTraceID(t *testing.T) {
+	st, _ := populated(t, 10)
+	all := st.Traces(Query{})
+	got := st.Traces(Query{TraceIDs: []string{all[3].TraceID}})
+	if len(got) != 1 || got[0].TraceID != all[3].TraceID {
+		t.Fatalf("by-ID query = %v", got)
+	}
+	if got := st.Traces(Query{TraceIDs: []string{"missing"}}); len(got) != 0 {
+		t.Fatal("missing ID returned traces")
+	}
+}
+
+func TestQueryByService(t *testing.T) {
+	st, _ := populated(t, 30)
+	svc := st.Services()[0]
+	got := st.Traces(Query{Service: svc})
+	if len(got) == 0 {
+		t.Fatal("service query empty")
+	}
+	for _, tr := range got {
+		found := false
+		for _, s := range tr.Services() {
+			if s == svc {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trace %s lacks service %s", tr.TraceID, svc)
+		}
+	}
+}
+
+func TestQueryTimeRange(t *testing.T) {
+	st, _ := populated(t, 20)
+	all := st.Traces(Query{})
+	mid := all[10].Spans[all[10].Roots()[0]].Start
+	early := st.Traces(Query{MaxStart: mid})
+	late := st.Traces(Query{MinStart: mid + 1})
+	if len(early)+len(late) != 20 {
+		t.Fatalf("time partition: %d + %d != 20", len(early), len(late))
+	}
+}
+
+func TestQueryErrorsAndSlow(t *testing.T) {
+	app := synth.Synthetic(16, 2)
+	s := sim.New(app, sim.DefaultOptions(2))
+	svc := app.ServiceAtCallDepth(1)
+	plan := chaos.NewPlan(app, chaos.Fault{
+		Type: chaos.FaultCPU, Level: chaos.LevelContainer,
+		Target: app.Services[svc].Name, SlowFactor: 40, ErrorProb: 0.5,
+	})
+	results, err := s.RunWithInjector(0, 40, chaos.NewInjector(app, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New()
+	for _, r := range results {
+		st.AddTrace(r.Trace)
+	}
+	errTraces := st.Traces(Query{OnlyErrors: true})
+	for _, tr := range errTraces {
+		if !tr.HasError() {
+			t.Fatal("error query returned clean trace")
+		}
+	}
+	slow := st.Traces(Query{MinRootDuration: 100_000})
+	for _, tr := range slow {
+		if tr.RootDuration() < 100_000 {
+			t.Fatal("slow query returned fast trace")
+		}
+	}
+}
+
+func TestOpSummaries(t *testing.T) {
+	st, _ := populated(t, 40)
+	sums := st.OpSummaries()
+	if len(sums) == 0 {
+		t.Fatal("no op summaries")
+	}
+	for _, s := range sums {
+		if s.Count <= 0 || s.Median <= 0 {
+			t.Fatalf("degenerate summary %+v", s)
+		}
+		if s.P95 < s.Median || s.P99 < s.P95 {
+			t.Fatalf("percentiles not ordered: %+v", s)
+		}
+		if s.MedianExclusive > s.Median {
+			t.Fatalf("exclusive median exceeds duration median: %+v", s)
+		}
+		if s.ErrorRate < 0 || s.ErrorRate > 1 {
+			t.Fatalf("error rate out of range: %+v", s)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	st, _ := populated(t, 15)
+	var buf bytes.Buffer
+	if err := st.SaveJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New()
+	if err := st2.LoadJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st2.SpanCount() != st.SpanCount() || st2.TraceCount() != st.TraceCount() {
+		t.Fatalf("round trip: %d/%d vs %d/%d spans/traces",
+			st2.SpanCount(), st2.TraceCount(), st.SpanCount(), st.TraceCount())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	st, _ := populated(t, 10)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New()
+	if err := st2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if st2.TraceCount() != 10 {
+		t.Fatalf("file round trip lost traces: %d", st2.TraceCount())
+	}
+}
+
+func TestLoadJSONLRejectsGarbage(t *testing.T) {
+	st := New()
+	if err := st.LoadJSONL(bytes.NewBufferString("{broken\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	st, s := populated(t, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := s.SimulateRequest(100+g*10+i, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				st.AddTrace(res.Trace)
+				_ = st.Traces(Query{Limit: 5})
+				_ = st.SpanCount()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.TraceCount() != 50 {
+		t.Fatalf("TraceCount = %d after concurrent adds", st.TraceCount())
+	}
+}

@@ -1,0 +1,116 @@
+package synth
+
+import "fmt"
+
+// Preset applications matching the paper's Table 1. Span counts and depths
+// are computed from the generated flows by App.Spec; the presets tune
+// generator parameters so the resulting specifications land on the paper's
+// rows (services, RPCs, max spans ≈ 2·RPCs, depth, out-degree).
+
+// Synthetic returns the Synthetic-N benchmark for n ∈ {16, 64, 256, 1024}
+// (other sizes are allowed; the four paper sizes have tuned depths).
+func Synthetic(n int, seed uint64) *App {
+	depth := syntheticDepth(n)
+	return Generate(Params{
+		Name:         fmt.Sprintf("synthetic-%d", n),
+		NumServices:  maxInt(1, n/4),
+		NumRPCs:      n,
+		MaxCallDepth: depth,
+		NumFlows:     4,
+		Seed:         seed,
+	})
+}
+
+// syntheticDepth reproduces the Table-1 max span depths: 3, 7, 15, 15 for
+// n = 16, 64, 256, 1024 (span depth = 2·callDepth - 1).
+func syntheticDepth(n int) int {
+	switch {
+	case n <= 16:
+		return 2
+	case n <= 64:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// SockShopLike returns an application mirroring the SockShop demo's shape:
+// 11 services, 58 RPCs, largest flow of 29 calls (57 spans) and span depth
+// 9 — the POST /orders API of §6.1.1.
+func SockShopLike(seed uint64) *App {
+	app := Generate(Params{
+		Name:         "sockshop",
+		NumServices:  11,
+		NumRPCs:      58,
+		MaxCallDepth: 5,
+		MaxFlowCalls: 29,
+		NumFlows:     6,
+		Seed:         seed,
+	})
+	rename(app, []string{
+		"front-end", "orders", "carts", "catalogue", "user",
+		"payment", "shipping", "queue-master", "rabbitmq",
+		"session-db", "carts-db",
+	})
+	return app
+}
+
+// SocialNetworkLike returns an application mirroring DeathStarBench's
+// SocialNetwork: 26 services, 61 RPCs, largest flow of 16 calls (31 spans,
+// the ComposePost API) and span depth 9.
+func SocialNetworkLike(seed uint64) *App {
+	app := Generate(Params{
+		Name:         "socialnetwork",
+		NumServices:  26,
+		NumRPCs:      61,
+		MaxCallDepth: 5,
+		MaxFlowCalls: 16,
+		NumFlows:     8,
+		Seed:         seed,
+	})
+	rename(app, []string{
+		"nginx-web-server", "compose-post-service", "text-service",
+		"media-service", "user-service", "unique-id-service",
+		"url-shorten-service", "user-mention-service", "post-storage-service",
+		"user-timeline-service", "home-timeline-service", "social-graph-service",
+		"write-home-timeline-service", "user-timeline-mongodb",
+		"post-storage-mongodb", "social-graph-mongodb", "media-mongodb",
+		"user-mongodb", "url-shorten-mongodb", "post-storage-memcached",
+		"user-timeline-redis", "home-timeline-redis", "social-graph-redis",
+		"media-memcached", "user-memcached", "rabbitmq",
+	})
+	return app
+}
+
+// rename overwrites service names (and pods) in order. Panics if fewer
+// names than services are supplied — presets are static, so this is a
+// programming error, not an input error.
+func rename(app *App, names []string) {
+	if len(names) < len(app.Services) {
+		panic("synth: preset rename list too short")
+	}
+	for i, s := range app.Services {
+		s.Name = names[i]
+		s.Pod = names[i] + "-0"
+	}
+}
+
+// Corpus generates n independent applications with varying sizes and
+// seeds — the stand-in for the paper's 50 production applications used to
+// pre-train the transferable model (§6.5).
+func Corpus(n int, seed uint64) []*App {
+	apps := make([]*App, n)
+	sizes := []int{8, 12, 16, 24, 32, 48, 64, 96, 128}
+	for i := range apps {
+		sz := sizes[i%len(sizes)]
+		apps[i] = Generate(Params{
+			Name:         fmt.Sprintf("corpus-%02d", i),
+			NumRPCs:      sz,
+			NumServices:  maxInt(2, sz/4),
+			MaxCallDepth: 2 + i%5,
+			NumFlows:     2 + i%3,
+			Seed:         seed + uint64(i)*7919,
+		})
+	}
+	return apps
+}

@@ -1,0 +1,312 @@
+package synth
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Synthetic(64, 42)
+	b := Synthetic(64, 42)
+	if a.Spec() != b.Spec() {
+		t.Fatalf("same seed produced different specs: %+v vs %+v", a.Spec(), b.Spec())
+	}
+	for i := range a.Services {
+		if a.Services[i].Name != b.Services[i].Name || a.Services[i].Node != b.Services[i].Node {
+			t.Fatal("same seed produced different services")
+		}
+	}
+	c := Synthetic(64, 43)
+	if a.Services[1].Name == c.Services[1].Name && a.Services[2].Name == c.Services[2].Name && a.Services[3].Name == c.Services[3].Name {
+		t.Fatal("different seeds produced identical service names")
+	}
+}
+
+func TestSyntheticSpecsMatchTable1(t *testing.T) {
+	cases := []struct {
+		n        int
+		services int
+		maxDepth int // span depth, Table 1 row "Max depth"
+	}{
+		{16, 4, 3},
+		{64, 16, 7},
+		{256, 64, 15},
+		{1024, 256, 15},
+	}
+	for _, c := range cases {
+		app := Synthetic(c.n, 1)
+		spec := app.Spec()
+		if spec.Services != c.services {
+			t.Errorf("Synthetic-%d services = %d, want %d", c.n, spec.Services, c.services)
+		}
+		if spec.RPCs != c.n {
+			t.Errorf("Synthetic-%d RPCs = %d, want %d", c.n, spec.RPCs, c.n)
+		}
+		if spec.MaxSpans != 2*c.n-1 {
+			t.Errorf("Synthetic-%d max spans = %d, want %d", c.n, spec.MaxSpans, 2*c.n-1)
+		}
+		if spec.MaxDepth > c.maxDepth {
+			t.Errorf("Synthetic-%d max depth = %d, want <= %d", c.n, spec.MaxDepth, c.maxDepth)
+		}
+		if spec.MaxDepth < 3 {
+			t.Errorf("Synthetic-%d max depth = %d, degenerate", c.n, spec.MaxDepth)
+		}
+	}
+}
+
+func TestPresetSpecs(t *testing.T) {
+	ss := SockShopLike(7).Spec()
+	if ss.Services != 11 || ss.RPCs != 58 {
+		t.Errorf("SockShop spec = %+v", ss)
+	}
+	if ss.MaxSpans != 57 {
+		t.Errorf("SockShop max spans = %d, want 57", ss.MaxSpans)
+	}
+	sn := SocialNetworkLike(7).Spec()
+	if sn.Services != 26 || sn.RPCs != 61 {
+		t.Errorf("SocialNetwork spec = %+v", sn)
+	}
+	if sn.MaxSpans != 31 {
+		t.Errorf("SocialNetwork max spans = %d, want 31", sn.MaxSpans)
+	}
+}
+
+func TestEveryServiceHasRPC(t *testing.T) {
+	app := Synthetic(64, 3)
+	owned := make(map[int]bool)
+	for _, r := range app.RPCs {
+		owned[r.Service] = true
+	}
+	for i := range app.Services {
+		if !owned[i] {
+			t.Errorf("service %d has no RPCs", i)
+		}
+	}
+}
+
+func TestFlowStructure(t *testing.T) {
+	app := Synthetic(64, 5)
+	if len(app.Flows) != 4 || len(app.FlowWeights) != 4 {
+		t.Fatalf("flows = %d, weights = %d", len(app.Flows), len(app.FlowWeights))
+	}
+	full := app.Flows[0]
+	if full.NumCalls() != 64 {
+		t.Fatalf("full flow calls = %d", full.NumCalls())
+	}
+	// Every call's Work must have len(Stages)+1 segments.
+	for _, f := range app.Flows {
+		f.Walk(func(c *Call, _ int) {
+			if len(c.Work) != len(c.Stages)+1 {
+				t.Fatalf("call %d: %d stages but %d work segments", c.RPC, len(c.Stages), len(c.Work))
+			}
+			if c.TimeoutMicros <= 0 {
+				t.Fatalf("call %d: missing timeout", c.RPC)
+			}
+		})
+	}
+	// Depth bound respected.
+	if d := full.MaxCallDepth(); d > 4 {
+		t.Fatalf("call depth %d exceeds configured max 4", d)
+	}
+	// Root is hosted by a frontend service.
+	if app.ServiceOf(full.Root.RPC).Tier != TierFrontend {
+		t.Fatalf("flow root tier = %s", app.ServiceOf(full.Root.RPC).Tier)
+	}
+}
+
+func TestTierMix(t *testing.T) {
+	app := Synthetic(256, 11)
+	counts := map[Tier]int{}
+	for _, s := range app.Services {
+		counts[s.Tier]++
+	}
+	for _, tier := range []Tier{TierFrontend, TierMiddleware, TierBackend, TierLeaf} {
+		if counts[tier] == 0 {
+			t.Errorf("no services in tier %s", tier)
+		}
+	}
+	if counts[TierFrontend] > counts[TierBackend] {
+		t.Errorf("tier mix inverted: %v", counts)
+	}
+}
+
+func TestSaveLoadJSON(t *testing.T) {
+	app := Synthetic(16, 9)
+	path := filepath.Join(t.TempDir(), "app.json")
+	if err := app.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec() != app.Spec() {
+		t.Fatalf("round trip changed spec: %+v vs %+v", back.Spec(), app.Spec())
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSlowService(t *testing.T) {
+	app := Synthetic(64, 13)
+	svc := app.ServiceAtCallDepth(2)
+	if svc < 0 {
+		t.Fatal("no service at depth 2")
+	}
+	var before float64
+	app.Flows[0].Walk(func(c *Call, _ int) {
+		if app.RPCs[c.RPC].Service == svc && before == 0 {
+			before = c.Work[0].Mu
+		}
+	})
+	app.SlowService(svc, 10)
+	var after float64
+	app.Flows[0].Walk(func(c *Call, _ int) {
+		if app.RPCs[c.RPC].Service == svc && after == 0 {
+			after = c.Work[0].Mu
+		}
+	})
+	// ln(10) ≈ 2.3026
+	if diff := after - before; diff < 2.2 || diff > 2.4 {
+		t.Fatalf("SlowService shifted mu by %v, want ~2.3", diff)
+	}
+}
+
+func TestRemoveService(t *testing.T) {
+	app := Synthetic(64, 17)
+	svc := app.ServiceAtCallDepth(2)
+	callsBefore := app.Flows[0].NumCalls()
+	removedCalls := 0
+	for _, f := range app.Flows {
+		f.Walk(func(c *Call, _ int) {
+			if app.RPCs[c.RPC].Service == svc {
+				removedCalls++
+			}
+		})
+	}
+	if err := app.RemoveService(svc); err != nil {
+		t.Fatal(err)
+	}
+	// No calls to the removed service remain anywhere.
+	for _, f := range app.Flows {
+		f.Walk(func(c *Call, _ int) {
+			if app.RPCs[c.RPC].Service == svc {
+				t.Fatalf("call to removed service %d survives", svc)
+			}
+			if len(c.Work) != len(c.Stages)+1 {
+				t.Fatal("work/stage invariant broken after removal")
+			}
+		})
+	}
+	if removedCalls == 0 {
+		t.Fatal("test picked a service with no calls")
+	}
+	lost := callsBefore - app.Flows[0].NumCalls()
+	if lost <= 0 {
+		t.Fatalf("full flow lost %d calls", lost)
+	}
+}
+
+func TestRemoveRootServiceRejected(t *testing.T) {
+	app := Synthetic(16, 19)
+	rootSvc := app.RPCs[app.Flows[0].Root.RPC].Service
+	if err := app.RemoveService(rootSvc); err == nil {
+		t.Fatal("removing the root service should fail")
+	}
+}
+
+func TestAddService(t *testing.T) {
+	app := Synthetic(64, 23)
+	before := app.Flows[0].NumCalls()
+	idx := app.AddService("brand-new-svc", 2, 99)
+	if app.Services[idx].Name != "brand-new-svc" {
+		t.Fatal("service not added")
+	}
+	if app.Flows[0].NumCalls() != before+1 {
+		t.Fatalf("calls = %d, want %d", app.Flows[0].NumCalls(), before+1)
+	}
+	// New call present and owned by the new service.
+	found := false
+	app.Flows[0].Walk(func(c *Call, _ int) {
+		if app.RPCs[c.RPC].Service == idx {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("new service's call not reachable")
+	}
+}
+
+func TestAddChains(t *testing.T) {
+	app := Synthetic(64, 29)
+	before := app.Flows[0].NumCalls()
+	added := app.AddChains(3, 3, 7)
+	if len(added) != 9 {
+		t.Fatalf("added %d services, want 9", len(added))
+	}
+	if app.Flows[0].NumCalls() != before+9 {
+		t.Fatalf("calls = %d, want %d", app.Flows[0].NumCalls(), before+9)
+	}
+	// Chains must be linear: each non-tail chain service has exactly one
+	// child owned by the next chain service.
+	spec := app.Spec()
+	if spec.Services != 64/4+9 {
+		t.Fatalf("services = %d", spec.Services)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	apps := Corpus(10, 5)
+	if len(apps) != 10 {
+		t.Fatalf("corpus size = %d", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app name %s", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.RPCs) < 8 {
+			t.Fatalf("corpus app too small: %d RPCs", len(a.RPCs))
+		}
+	}
+	// Sizes vary.
+	if len(apps[0].RPCs) == len(apps[1].RPCs) {
+		t.Fatal("corpus sizes do not vary")
+	}
+}
+
+func TestRandomizeNamesDisjoint(t *testing.T) {
+	app := Synthetic(16, 31)
+	origNames := map[string]bool{}
+	for _, s := range app.Services {
+		origNames[s.Name] = true
+	}
+	app.RandomizeNames(DisjointVocabulary(), 77)
+	for _, s := range app.Services {
+		if origNames[s.Name] {
+			t.Fatalf("name %q survived randomization", s.Name)
+		}
+	}
+	// Structure untouched.
+	if app.Spec().RPCs != 16 || app.Flows[0].NumCalls() != 16 {
+		t.Fatal("randomization changed structure")
+	}
+}
+
+func TestVocabularyDistinctNames(t *testing.T) {
+	v := DefaultVocabulary()
+	names := v.ServiceNames(100, newTestRng())
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate service name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func newTestRng() *xrand.Rand { return xrand.New(123) }

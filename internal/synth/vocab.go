@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"fmt"
+
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+// Vocabulary supplies realistic service and operation names (§5.1.1 notes
+// the generator assigns commonly used names so synthetic traces carry
+// plausible semantics). A disjoint vocabulary supports the paper's §6.6
+// semantic-sensitivity experiment.
+type Vocabulary struct {
+	ServiceStems    []string
+	ServiceSuffixes []string
+	Verbs           []string
+	Nouns           []string
+	// Tag distinguishes vocabularies in generated names.
+	Tag string
+}
+
+// DefaultVocabulary returns the standard e-commerce/social vocabulary.
+func DefaultVocabulary() *Vocabulary {
+	return &Vocabulary{
+		ServiceStems: []string{
+			"auth", "user", "cart", "checkout", "payment", "catalog",
+			"search", "inventory", "shipping", "recommend", "review",
+			"order", "profile", "session", "notify", "media", "timeline",
+			"compose", "social-graph", "url-shorten", "text", "geo",
+			"rate", "reservation", "billing", "wallet", "coupon",
+			"fraud", "ledger", "pricing", "ads", "feed", "message",
+			"presence", "gateway", "router", "aggregator", "ranking",
+		},
+		ServiceSuffixes: []string{"service", "api", "svc", "backend", "store", "cache", "db", "mq"},
+		Verbs: []string{
+			"Get", "List", "Create", "Update", "Delete", "Query", "Fetch",
+			"Put", "Post", "Compose", "Upload", "Read", "Write", "Scan",
+			"Search", "Validate", "Check", "Sync", "Publish", "Consume",
+		},
+		Nouns: []string{
+			"User", "Order", "Item", "Cart", "Payment", "Profile", "Post",
+			"Media", "Timeline", "Session", "Token", "Product", "Price",
+			"Stock", "Address", "Review", "Rating", "Follower", "Message",
+			"Recommendation", "Url", "Text", "Account", "Balance",
+		},
+		Tag: "std",
+	}
+}
+
+// DisjointVocabulary returns a vocabulary with no overlap with the default
+// one — abstract identifiers with no transferable semantics, used to
+// measure how much the model leans on name semantics (Figure 8).
+func DisjointVocabulary() *Vocabulary {
+	var stems, verbs, nouns []string
+	for i := 0; i < 40; i++ {
+		stems = append(stems, fmt.Sprintf("zz-unit-%02d", i))
+	}
+	for i := 0; i < 20; i++ {
+		verbs = append(verbs, fmt.Sprintf("Xfn%02d", i))
+		nouns = append(nouns, fmt.Sprintf("Qobj%02d", i))
+	}
+	return &Vocabulary{
+		ServiceStems:    stems,
+		ServiceSuffixes: []string{"mod", "blk"},
+		Verbs:           verbs,
+		Nouns:           nouns,
+		Tag:             "rnd",
+	}
+}
+
+// ServiceNames produces n distinct service names.
+func (v *Vocabulary) ServiceNames(n int, rng *xrand.Rand) []string {
+	names := make([]string, 0, n)
+	seen := make(map[string]bool)
+	for len(names) < n {
+		stem := v.ServiceStems[rng.Intn(len(v.ServiceStems))]
+		name := stem
+		if rng.Bernoulli(0.6) {
+			name = stem + "-" + v.ServiceSuffixes[rng.Intn(len(v.ServiceSuffixes))]
+		}
+		for i := 2; seen[name]; i++ {
+			name = fmt.Sprintf("%s-%d", stem, i)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	return names
+}
+
+// OperationName produces an operation name for RPC id hosted by svcName.
+func (v *Vocabulary) OperationName(svcName string, id int, rng *xrand.Rand) string {
+	verb := v.Verbs[rng.Intn(len(v.Verbs))]
+	noun := v.Nouns[rng.Intn(len(v.Nouns))]
+	if rng.Bernoulli(0.15) {
+		return fmt.Sprintf("%s%sV%d", verb, noun, 1+rng.Intn(3))
+	}
+	return verb + noun
+}
+
+// RandomizeNames rewrites every service and operation name of the app from
+// a different vocabulary, leaving the structure untouched. Used by the
+// §6.6 experiment: the test traces describe the same system but carry
+// misleading (disjoint) semantic information.
+func (a *App) RandomizeNames(v *Vocabulary, seed uint64) {
+	rng := xrand.New(seed)
+	names := v.ServiceNames(len(a.Services), rng.Split("svc"))
+	for i, s := range a.Services {
+		s.Name = names[i]
+		s.Pod = names[i] + "-0"
+	}
+	opRng := rng.Split("ops")
+	for _, r := range a.RPCs {
+		r.Name = v.OperationName(a.Services[r.Service].Name, r.ID, opRng)
+	}
+}

@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// GradCheck compares the analytic gradient of loss() with central finite
+// differences over every element of every leaf, returning an error naming
+// the first element whose relative error exceeds tol. loss must rebuild the
+// graph from the leaves' current Data on every call.
+//
+// This is the safety net under the whole model stack: every layer in
+// internal/nn, internal/gnn and internal/core is validated against it.
+func GradCheck(loss func() *Tensor, leaves []*Tensor, eps, tol float64) error {
+	// Analytic pass.
+	for _, l := range leaves {
+		l.RequireGrad()
+		l.ensureGrad()
+		l.ZeroGrad()
+	}
+	out := loss()
+	out.Backward()
+	analytic := make([][]float64, len(leaves))
+	for i, l := range leaves {
+		analytic[i] = append([]float64(nil), l.Grad...)
+	}
+	// Numeric pass.
+	for li, l := range leaves {
+		for i := range l.Data {
+			orig := l.Data[i]
+			l.Data[i] = orig + eps
+			up := loss().Item()
+			l.Data[i] = orig - eps
+			down := loss().Item()
+			l.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			a := analytic[li][i]
+			denom := math.Max(math.Max(math.Abs(a), math.Abs(numeric)), 1)
+			if math.Abs(a-numeric)/denom > tol {
+				return fmt.Errorf("tensor: gradcheck leaf %d elem %d: analytic %v vs numeric %v", li, i, a, numeric)
+			}
+		}
+	}
+	return nil
+}

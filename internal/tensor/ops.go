@@ -1,0 +1,592 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// broadcastable reports how b broadcasts against a: 0 = same shape,
+// 1 = b is a single row [1, cols] repeated down a's rows,
+// 2 = b is a scalar.
+func broadcastable(a, b *Tensor) int {
+	if SameShape(a, b) {
+		return 0
+	}
+	if len(b.Data) == 1 {
+		return 2
+	}
+	if b.Rows() == 1 && b.Cols() == a.Cols() {
+		return 1
+	}
+	panic(fmt.Sprintf("tensor: cannot broadcast %v against %v", b.Shape, a.Shape))
+}
+
+// binary applies fn elementwise with row/scalar broadcasting of b, and dfn
+// returns (∂out/∂a, ∂out/∂b) at each element.
+func binary(op string, a, b *Tensor, fn func(x, y float64) float64, dfn func(x, y float64) (float64, float64)) *Tensor {
+	mode := broadcastable(a, b)
+	data := make([]float64, len(a.Data))
+	cols := a.Cols()
+	bval := func(i int) float64 {
+		switch mode {
+		case 0:
+			return b.Data[i]
+		case 1:
+			return b.Data[i%cols]
+		default:
+			return b.Data[0]
+		}
+	}
+	for i, x := range a.Data {
+		data[i] = fn(x, bval(i))
+	}
+	out := newResult(op, data, a.Shape, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+			}
+			for i, x := range a.Data {
+				da, db := dfn(x, bval(i))
+				g := out.Grad[i]
+				if a.requiresGrad {
+					a.Grad[i] += g * da
+				}
+				if b.requiresGrad {
+					switch mode {
+					case 0:
+						b.Grad[i] += g * db
+					case 1:
+						b.Grad[i%cols] += g * db
+					default:
+						b.Grad[0] += g * db
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (b may be a row vector or scalar; broadcast).
+func Add(a, b *Tensor) *Tensor {
+	return binary("add", a, b,
+		func(x, y float64) float64 { return x + y },
+		func(x, y float64) (float64, float64) { return 1, 1 })
+}
+
+// Sub returns a - b.
+func Sub(a, b *Tensor) *Tensor {
+	return binary("sub", a, b,
+		func(x, y float64) float64 { return x - y },
+		func(x, y float64) (float64, float64) { return 1, -1 })
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	return binary("mul", a, b,
+		func(x, y float64) float64 { return x * y },
+		func(x, y float64) (float64, float64) { return y, x })
+}
+
+// Div returns the elementwise quotient a / b.
+func Div(a, b *Tensor) *Tensor {
+	return binary("div", a, b,
+		func(x, y float64) float64 { return x / y },
+		func(x, y float64) (float64, float64) { return 1 / y, -x / (y * y) })
+}
+
+// unary applies fn elementwise; dfn(x, y) is ∂out/∂x given input x and
+// output y (letting activations reuse the forward value).
+func unary(op string, a *Tensor, fn func(x float64) float64, dfn func(x, y float64) float64) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, x := range a.Data {
+		data[i] = fn(x)
+	}
+	out := newResult(op, data, a.Shape, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i, x := range a.Data {
+				a.Grad[i] += out.Grad[i] * dfn(x, out.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor {
+	return unary("neg", a, func(x float64) float64 { return -x },
+		func(x, y float64) float64 { return -1 })
+}
+
+// AddScalar returns a + c.
+func AddScalar(a *Tensor, c float64) *Tensor {
+	return unary("adds", a, func(x float64) float64 { return x + c },
+		func(x, y float64) float64 { return 1 })
+}
+
+// MulScalar returns a * c.
+func MulScalar(a *Tensor, c float64) *Tensor {
+	return unary("muls", a, func(x float64) float64 { return x * c },
+		func(x, y float64) float64 { return c })
+}
+
+// ReLU returns max(a, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return unary("relu", a, func(x float64) float64 { return math.Max(x, 0) },
+		func(x, y float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// LeakyReLU returns x for x>0 and slope*x otherwise.
+func LeakyReLU(a *Tensor, slope float64) *Tensor {
+	return unary("lrelu", a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return slope * x
+	}, func(x, y float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return slope
+	})
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise (numerically stable form).
+func Sigmoid(a *Tensor) *Tensor {
+	return unary("sigmoid", a, stableSigmoid,
+		func(x, y float64) float64 { return y * (1 - y) })
+}
+
+func stableSigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return unary("tanh", a, math.Tanh,
+		func(x, y float64) float64 { return 1 - y*y })
+}
+
+// Exp returns e^x elementwise.
+func Exp(a *Tensor) *Tensor {
+	return unary("exp", a, math.Exp,
+		func(x, y float64) float64 { return y })
+}
+
+// Log returns the natural logarithm elementwise, with inputs clamped to a
+// tiny positive floor for stability.
+func Log(a *Tensor) *Tensor {
+	const eps = 1e-12
+	return unary("log", a, func(x float64) float64 { return math.Log(math.Max(x, eps)) },
+		func(x, y float64) float64 { return 1 / math.Max(x, eps) })
+}
+
+// Square returns x² elementwise.
+func Square(a *Tensor) *Tensor {
+	return unary("square", a, func(x float64) float64 { return x * x },
+		func(x, y float64) float64 { return 2 * x })
+}
+
+// Pow10 returns 10^x elementwise. The Sleuth aggregation layer works on
+// unscaled durations d' = 10^(σ·d + µ) (Eq. 2), so exponentiation by ten is
+// a first-class op.
+func Pow10(a *Tensor) *Tensor {
+	ln10 := math.Ln10
+	return unary("pow10", a, func(x float64) float64 { return math.Pow(10, x) },
+		func(x, y float64) float64 { return y * ln10 })
+}
+
+// Log10 returns log₁₀(x) elementwise with a positive floor.
+func Log10(a *Tensor) *Tensor {
+	const eps = 1e-12
+	return unary("log10", a, func(x float64) float64 { return math.Log10(math.Max(x, eps)) },
+		func(x, y float64) float64 { return 1 / (math.Max(x, eps) * math.Ln10) })
+}
+
+// Clamp limits values to [lo, hi]; gradient is 1 inside the window, 0 out.
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	return unary("clamp", a, func(x float64) float64 { return math.Min(math.Max(x, lo), hi) },
+		func(x, y float64) float64 {
+			if x >= lo && x <= hi {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Abs returns |x| elementwise (subgradient 0 at x=0).
+func Abs(a *Tensor) *Tensor {
+	return unary("abs", a, math.Abs, func(x, y float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// Softplus returns log(1+e^x), a smooth non-negativity transform used for
+// the h' parameters of Eq. 2 (u and v must be non-negative).
+func Softplus(a *Tensor) *Tensor {
+	return unary("softplus", a, func(x float64) float64 {
+		if x > 30 {
+			return x
+		}
+		return math.Log1p(math.Exp(x))
+	}, func(x, y float64) float64 { return stableSigmoid(x) })
+}
+
+// MatMul returns the matrix product a·b for a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	data := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*n : (l+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	out := newResult("matmul", data, []int{m, n}, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				// dA = dOut · Bᵀ
+				for i := 0; i < m; i++ {
+					grow := out.Grad[i*n : (i+1)*n]
+					for l := 0; l < k; l++ {
+						brow := b.Data[l*n : (l+1)*n]
+						s := 0.0
+						for j := 0; j < n; j++ {
+							s += grow[j] * brow[j]
+						}
+						a.Grad[i*k+l] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				// dB = Aᵀ · dOut
+				for i := 0; i < m; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					grow := out.Grad[i*n : (i+1)*n]
+					for l := 0; l < k; l++ {
+						av := arow[l]
+						if av == 0 {
+							continue
+						}
+						bg := b.Grad[l*n : (l+1)*n]
+						for j := 0; j < n; j++ {
+							bg[j] += av * grow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the scalar sum of all elements.
+func Sum(a *Tensor) *Tensor {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	out := newResult("sum", []float64{s}, []int{1}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements.
+func Mean(a *Tensor) *Tensor {
+	return MulScalar(Sum(a), 1/float64(len(a.Data)))
+}
+
+// SumRows returns a [rows,1] column of per-row sums of a matrix.
+func SumRows(a *Tensor) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	data := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.Data[i*n+j]
+		}
+		data[i] = s
+	}
+	out := newResult("sumrows", data, []int{m, 1}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := 0; i < m; i++ {
+				g := out.Grad[i]
+				for j := 0; j < n; j++ {
+					a.Grad[i*n+j] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates matrices with equal row counts along columns.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols with no inputs")
+	}
+	m := ts[0].Rows()
+	total := 0
+	for _, t := range ts {
+		if t.Rows() != m {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		total += t.Cols()
+	}
+	data := make([]float64, m*total)
+	off := 0
+	for _, t := range ts {
+		c := t.Cols()
+		for i := 0; i < m; i++ {
+			copy(data[i*total+off:i*total+off+c], t.Data[i*c:(i+1)*c])
+		}
+		off += c
+	}
+	out := newResult("concat", data, []int{m, total}, ts...)
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				c := t.Cols()
+				if t.requiresGrad {
+					t.ensureGrad()
+					for i := 0; i < m; i++ {
+						for j := 0; j < c; j++ {
+							t.Grad[i*c+j] += out.Grad[i*total+off+j]
+						}
+					}
+				}
+				off += c
+			}
+		}
+	}
+	return out
+}
+
+// IndexRows gathers rows of a by idx: out[i] = a[idx[i]]. Gradients
+// scatter-add back to the source rows. idx is captured by reference and
+// must not be mutated afterwards.
+func IndexRows(a *Tensor, idx []int) *Tensor {
+	n := a.Cols()
+	data := make([]float64, len(idx)*n)
+	for i, src := range idx {
+		copy(data[i*n:(i+1)*n], a.Data[src*n:(src+1)*n])
+	}
+	out := newResult("index", data, []int{len(idx), n}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i, src := range idx {
+				for j := 0; j < n; j++ {
+					a.Grad[src*n+j] += out.Grad[i*n+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSum sums the rows of a into nSeg output rows by segment ID:
+// out[seg[i]] += a[i]. This is the scatter-add primitive of graph message
+// passing — rows are messages, segments are destination nodes. Segment IDs
+// must lie in [0, nSeg).
+func SegmentSum(a *Tensor, seg []int, nSeg int) *Tensor {
+	if len(seg) != a.Rows() {
+		panic("tensor: SegmentSum segment length mismatch")
+	}
+	n := a.Cols()
+	data := make([]float64, nSeg*n)
+	for i, s := range seg {
+		if s < 0 || s >= nSeg {
+			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, nSeg))
+		}
+		for j := 0; j < n; j++ {
+			data[s*n+j] += a.Data[i*n+j]
+		}
+	}
+	out := newResult("segsum", data, []int{nSeg, n}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i, s := range seg {
+				for j := 0; j < n; j++ {
+					a.Grad[i*n+j] += out.Grad[s*n+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMax computes per-segment elementwise maxima: out[s][j] is the max
+// of a[i][j] over rows i with seg[i] == s. Segments with no rows yield
+// fallback. The gradient flows to each column's argmax row, matching the
+// max-aggregation of Eq. 3 (error propagation).
+func SegmentMax(a *Tensor, seg []int, nSeg int, fallback float64) *Tensor {
+	if len(seg) != a.Rows() {
+		panic("tensor: SegmentMax segment length mismatch")
+	}
+	n := a.Cols()
+	data := make([]float64, nSeg*n)
+	argmax := make([]int, nSeg*n)
+	for i := range data {
+		data[i] = math.Inf(-1)
+		argmax[i] = -1
+	}
+	for i, s := range seg {
+		if s < 0 || s >= nSeg {
+			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, nSeg))
+		}
+		for j := 0; j < n; j++ {
+			if v := a.Data[i*n+j]; v > data[s*n+j] {
+				data[s*n+j] = v
+				argmax[s*n+j] = i
+			}
+		}
+	}
+	for i := range data {
+		if argmax[i] < 0 {
+			data[i] = fallback
+		}
+	}
+	out := newResult("segmax", data, []int{nSeg, n}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for s := 0; s < nSeg; s++ {
+				for j := 0; j < n; j++ {
+					if src := argmax[s*n+j]; src >= 0 {
+						a.Grad[src*n+j] += out.Grad[s*n+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Max2 returns the elementwise maximum of two same-shaped tensors, with the
+// gradient routed to the larger input (ties go to a).
+func Max2(a, b *Tensor) *Tensor {
+	if !SameShape(a, b) {
+		panic("tensor: Max2 shape mismatch")
+	}
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = math.Max(a.Data[i], b.Data[i])
+	}
+	out := newResult("max2", data, a.Shape, a, b)
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+			}
+			for i := range data {
+				if a.Data[i] >= b.Data[i] {
+					if a.requiresGrad {
+						a.Grad[i] += out.Grad[i]
+					}
+				} else if b.requiresGrad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of a matrix as a new tensor with
+// gradient routing back to the source columns.
+func SliceCols(a *Tensor, lo, hi int) *Tensor {
+	m, n := a.Rows(), a.Cols()
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("tensor: SliceCols[%d:%d] of %d columns", lo, hi, n))
+	}
+	w := hi - lo
+	data := make([]float64, m*w)
+	for i := 0; i < m; i++ {
+		copy(data[i*w:(i+1)*w], a.Data[i*n+lo:i*n+hi])
+	}
+	out := newResult("slicecols", data, []int{m, w}, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := 0; i < m; i++ {
+				for j := 0; j < w; j++ {
+					a.Grad[i*n+lo+j] += out.Grad[i*w+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reshape returns a tensor viewing the same data with a new shape of equal
+// element count; gradients pass through unchanged.
+func Reshape(a *Tensor, shape ...int) *Tensor {
+	if numel(shape) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v", a.Shape, shape))
+	}
+	data := append([]float64(nil), a.Data...)
+	out := newResult("reshape", data, shape, a)
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}

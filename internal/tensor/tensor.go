@@ -1,0 +1,267 @@
+// Package tensor implements dense float64 tensors with reverse-mode
+// automatic differentiation.
+//
+// It is the substrate standing in for PyTorch Geometric in this
+// reproduction: the Sleuth GNN (internal/gnn, internal/core), the Sage and
+// TraceAnomaly variational autoencoders and the DeepTraLog gated GNN are
+// all expressed as tensor graphs and trained through this package.
+//
+// The design is a classic define-by-run tape: every operation allocates a
+// result tensor holding a closure that propagates gradients to its parents.
+// Calling Backward on a scalar result runs the tape in reverse topological
+// order. Only the shapes the models need are supported — scalars, vectors
+// and matrices (row-major) — plus the two indexing primitives that make
+// graph message passing expressible: IndexRows (gather) and SegmentSum
+// (scatter-add by segment).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major tensor with an optional gradient tape entry.
+type Tensor struct {
+	Data  []float64
+	Shape []int // length 1 (vector) or 2 (matrix); scalars are [1]
+
+	// Grad accumulates ∂loss/∂this after Backward. Nil until needed.
+	Grad []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backFn       func()
+	op           string
+}
+
+// New creates a tensor of the given shape backed by data. The data slice is
+// retained, not copied. It panics if the element count does not match.
+func New(data []float64, shape ...int) *Tensor {
+	n := numel(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Data: data, Shape: append([]int(nil), shape...)}
+}
+
+// Zeros creates a zero-filled tensor of the given shape.
+func Zeros(shape ...int) *Tensor {
+	return New(make([]float64, numel(shape)), shape...)
+}
+
+// Full creates a tensor of the given shape filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Scalar creates a 1-element tensor holding v.
+func Scalar(v float64) *Tensor { return New([]float64{v}, 1) }
+
+// FromRows creates a [len(rows), len(rows[0])] matrix copying the data.
+// It panics on ragged input.
+func FromRows(rows [][]float64) *Tensor {
+	if len(rows) == 0 {
+		panic("tensor: FromRows with no rows")
+	}
+	c := len(rows[0])
+	data := make([]float64, 0, len(rows)*c)
+	for _, r := range rows {
+		if len(r) != c {
+			panic("tensor: ragged rows")
+		}
+		data = append(data, r...)
+	}
+	return New(data, len(rows), c)
+}
+
+func numel(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Rows returns the first dimension (1 for vectors and scalars).
+func (t *Tensor) Rows() int {
+	if len(t.Shape) < 2 {
+		return 1
+	}
+	return t.Shape[0]
+}
+
+// Cols returns the trailing dimension.
+func (t *Tensor) Cols() int { return t.Shape[len(t.Shape)-1] }
+
+// At returns element (r, c) of a matrix (or (0, c) of a vector).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols()+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols()+c] = v }
+
+// Item returns the value of a 1-element tensor and panics otherwise.
+func (t *Tensor) Item() float64 {
+	if len(t.Data) != 1 {
+		panic(fmt.Sprintf("tensor: Item on tensor with %d elements", len(t.Data)))
+	}
+	return t.Data[0]
+}
+
+// RequireGrad marks t as a differentiable leaf and returns t.
+func (t *Tensor) RequireGrad() *Tensor {
+	t.requiresGrad = true
+	return t
+}
+
+// RequiresGrad reports whether t participates in gradient computation.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// ensureGrad allocates the gradient buffer on demand.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Detach returns a view of the same data with no tape history.
+func (t *Tensor) Detach() *Tensor {
+	return &Tensor{Data: t.Data, Shape: append([]int(nil), t.Shape...)}
+}
+
+// Clone returns a deep copy with no tape history.
+func (t *Tensor) Clone() *Tensor {
+	d := append([]float64(nil), t.Data...)
+	return New(d, t.Shape...)
+}
+
+// newResult builds an op result inheriting grad requirements from parents.
+func newResult(op string, data []float64, shape []int, parents ...*Tensor) *Tensor {
+	r := &Tensor{Data: data, Shape: append([]int(nil), shape...), op: op}
+	for _, p := range parents {
+		if p.requiresGrad {
+			r.requiresGrad = true
+			break
+		}
+	}
+	if r.requiresGrad {
+		r.parents = parents
+	}
+	return r
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a
+// scalar (1-element) tensor, accumulating gradients into every reachable
+// tensor that requires them. Gradients accumulate across calls; use
+// ZeroGrad (or an optimizer step) between backward passes.
+func (t *Tensor) Backward() {
+	if len(t.Data) != 1 {
+		panic("tensor: Backward on non-scalar tensor")
+	}
+	if !t.requiresGrad {
+		return
+	}
+	order := topoSort(t)
+	t.ensureGrad()
+	t.Grad[0] += 1
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil {
+			n.backFn()
+		}
+	}
+}
+
+// topoSort returns the tape in topological order (leaves first) using an
+// iterative DFS — model graphs over large traces can exceed Go's default
+// recursion comfort zone.
+func topoSort(root *Tensor) []*Tensor {
+	var order []*Tensor
+	visited := make(map[*Tensor]bool)
+	type frame struct {
+		t    *Tensor
+		next int
+	}
+	stack := []frame{{t: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.t.parents) {
+			p := f.t.parents[f.next]
+			f.next++
+			if p.requiresGrad && !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{t: p})
+			}
+			continue
+		}
+		order = append(order, f.t)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.Shape)
+	if len(t.Data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.Data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g ... %g]", t.Data[0], t.Data[1], t.Data[len(t.Data)-1])
+	}
+	return b.String()
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertFinite panics if any element is NaN or Inf; used in tests and
+// debug-mode training.
+func (t *Tensor) assertFinite(where string) {
+	for i, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("tensor: non-finite value %v at %d in %s", v, i, where))
+		}
+	}
+}
+
+// CheckFinite returns an error if any element of t is NaN or infinite.
+func (t *Tensor) CheckFinite() error {
+	for i, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tensor: non-finite value %v at index %d", v, i)
+		}
+	}
+	return nil
+}
