@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: static checks, a clean build, and the full
+# suite under the race detector (the data-parallel trainer and the batched
+# inference paths are only trustworthy race-clean).
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -8,6 +8,7 @@
 package sleuth
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -215,6 +216,32 @@ func BenchmarkAblationClippedReLU(b *testing.B) {
 		out = eval.RenderAblationWindow(rows)
 	}
 	b.Log("\nAblation — Eq. 2 clipping window vs plain sum\n" + out)
+}
+
+// BenchmarkTrainWorkers sweeps the data-parallel training path: one
+// mini-batch configuration trained with 1, 2, 4 and 8 gradient workers.
+// Training results are bit-identical across the sweep (see
+// TestTrainWorkerCountDeterminism in internal/core); on a multi-core
+// machine throughput scales with workers until the core count is reached.
+func BenchmarkTrainWorkers(b *testing.B) {
+	app := NewSyntheticApp(64, benchSeed)
+	world := NewWorld(app, benchSeed)
+	traces, err := world.SimulateNormal(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(traces, TrainConfig{
+					Epochs: 1, BatchSize: 32, Workers: workers, Seed: benchSeed,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationEpsilon sweeps HDBSCAN's cluster_selection_epsilon

@@ -63,6 +63,8 @@ func cmdTrain(args []string) error {
 	modelPath := fs.String("model", "model.gob", "output model path")
 	epochs := fs.Int("epochs", 5, "training epochs")
 	lr := fs.Float64("lr", 1e-3, "learning rate")
+	batch := fs.Int("batch", 1, "mini-batch size (traces per optimizer step)")
+	workers := fs.Int("workers", 0, "gradient workers per batch (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "training seed")
 	_ = fs.Parse(args)
 	if *tracesPath == "" {
@@ -73,7 +75,10 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("training on %d traces...\n", len(traces))
-	m, err := sleuth.Train(traces, sleuth.TrainConfig{Epochs: *epochs, LearningRate: *lr, Seed: *seed})
+	m, err := sleuth.Train(traces, sleuth.TrainConfig{
+		Epochs: *epochs, LearningRate: *lr,
+		BatchSize: *batch, Workers: *workers, Seed: *seed,
+	})
 	if err != nil {
 		return err
 	}

@@ -162,23 +162,45 @@ func (m *Matrix) Set(i, j int, v float64) {
 }
 
 // Pairwise computes the full distance matrix over trace sets in parallel.
+//
+// Only the upper triangle is computed, so row i costs n-i-1 distance calls:
+// handing out bare rows would leave the tail workers idle while whoever drew
+// row 0 finishes (triangular load imbalance). Work items therefore pair row
+// i with its mirror row n-1-i — every item costs ~n-1 calls, so per-item
+// cost is near-uniform and workers drain the queue evenly.
 func Pairwise(sets []WeightedSet) *Matrix {
 	n := len(sets)
 	m := NewMatrix(n)
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	rows := make(chan int, n)
-	for i := 0; i < n; i++ {
-		rows <- i
+	fillRow := func(i int) {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, Distance(sets[i], sets[j]))
+		}
 	}
-	close(rows)
+	nItems := (n + 1) / 2
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nItems {
+		workers = nItems
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fillRow(i)
+		}
+		return m
+	}
+	items := make(chan int, nItems)
+	for i := 0; i < nItems; i++ {
+		items <- i
+	}
+	close(items)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range rows {
-				for j := i + 1; j < n; j++ {
-					m.Set(i, j, Distance(sets[i], sets[j]))
+			for i := range items {
+				fillRow(i)
+				if mirror := n - 1 - i; mirror != i {
+					fillRow(mirror)
 				}
 			}
 		}()

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+// randomSets builds n weighted span sets with overlapping identifier
+// vocabularies, the shape Pairwise sees from one incident's traces.
+func randomSets(n int, seed uint64) []WeightedSet {
+	r := xrand.New(seed)
+	sets := make([]WeightedSet, n)
+	for i := range sets {
+		m := map[string]float64{}
+		k := 8 + r.Intn(24)
+		for j := 0; j < k; j++ {
+			id := fmt.Sprintf("op-%d", r.Intn(40))
+			m[id] += 0.001 + r.Float64()*10
+		}
+		sets[i] = SetFromMap(m)
+	}
+	return sets
+}
+
+// TestPairwiseMirrorSplitExact proves the mirror-row work split changes
+// nothing about the output: every cell is bit-identical to the sequential
+// reference (including odd/even sizes where the middle row has no mirror),
+// and the matrix stays symmetric with a zero diagonal.
+func TestPairwiseMirrorSplitExact(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 40} {
+		sets := randomSets(n, uint64(100+n))
+		got := Pairwise(sets)
+		want := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want.Set(i, j, Distance(sets[i], sets[j]))
+			}
+		}
+		for i := 0; i < n; i++ {
+			if got.At(i, i) != 0 {
+				t.Fatalf("n=%d: diagonal (%d,%d) = %v", n, i, i, got.At(i, i))
+			}
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: cell (%d,%d) = %v, want %v",
+						n, i, j, got.At(i, j), want.At(i, j))
+				}
+				if got.At(i, j) != got.At(j, i) {
+					t.Fatalf("n=%d: asymmetric at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPairwise measures the parallel distance matrix against the
+// incident sizes the pipeline clusters. On a multi-core machine the
+// mirror-row pairing keeps all workers busy to the end of the triangle.
+func BenchmarkPairwise(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		sets := randomSets(n, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Pairwise(sets)
+			}
+		})
+	}
+}
+
+// BenchmarkPairwiseSequential is the single-worker reference for the
+// speedup comparison with BenchmarkPairwise.
+func BenchmarkPairwiseSequential(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		sets := randomSets(n, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := NewMatrix(n)
+				for a := 0; a < n; a++ {
+					for c := a + 1; c < n; c++ {
+						m.Set(a, c, Distance(sets[a], sets[c]))
+					}
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"github.com/sleuth-rca/sleuth/internal/features"
 	"github.com/sleuth-rca/sleuth/internal/gnn"
@@ -253,11 +255,65 @@ func (m *Model) Predict(tr *trace.Trace) (durScaled, errProb []float64) {
 		append([]float64(nil), pred.errProb.Data...)
 }
 
+// PredictBatch scores many traces concurrently, returning the per-span
+// predictions of Predict for each trace in order. workers ≤ 0 uses
+// GOMAXPROCS. The forward pass only reads the shared weights, so any number
+// of scoring goroutines can share one model (see tensor.Backward's
+// concurrency contract).
+func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, errProb [][]float64) {
+	durScaled = make([][]float64, len(traces))
+	errProb = make([][]float64, len(traces))
+	parallelFor(len(traces), workers, func(i int) {
+		durScaled[i], errProb[i] = m.Predict(traces[i])
+	})
+	return durScaled, errProb
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines (workers ≤ 0 → GOMAXPROCS). Indexes are strided across workers
+// so uneven per-item costs spread evenly.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // TrainOptions tunes Train and FineTune.
 type TrainOptions struct {
 	Epochs       int
 	LearningRate float64
-	// GradClip caps the global gradient norm (0 disables).
+	// BatchSize is the number of traces whose gradients are averaged into
+	// one clip+Adam step (mini-batch SGD, §3.4). 0 selects 1 — the paper's
+	// per-trace updates.
+	BatchSize int
+	// Workers is the number of goroutines computing per-trace gradients
+	// within a batch, each on its own tape over weight-aliased model
+	// replicas. 0 selects GOMAXPROCS (capped at BatchSize). Per-trace
+	// gradients are reduced in batch order, so the trained weights are
+	// bit-identical for any worker count.
+	Workers int
+	// GradClip caps the global gradient norm of each step. 0 selects the
+	// default of 5; a negative value disables clipping.
 	GradClip float64
 	// Seed shuffles the training order.
 	Seed uint64
@@ -272,6 +328,12 @@ func (o TrainOptions) withDefaults() TrainOptions {
 	if o.LearningRate == 0 {
 		o.LearningRate = 1e-3
 	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if o.GradClip == 0 {
 		o.GradClip = 5
 	}
@@ -285,8 +347,30 @@ type TrainStats struct {
 	Traces    int
 }
 
+// replica returns a model whose parameters alias m's data storage but own
+// private gradient buffers — the per-worker view of the data-parallel
+// trainer. Replicas observe m's weight updates immediately; they must only
+// run forward/backward passes, never optimizer steps.
+func (m *Model) replica() *Model {
+	r := NewModel(m.cfg)
+	if err := nn.AliasParams(r, m); err != nil {
+		// Identical architecture by construction; a mismatch is a bug.
+		panic(err)
+	}
+	return r
+}
+
 // Train fits the model on the traces (unsupervised reconstruction, §3.4)
 // and refreshes the normal-state statistics from the same data.
+//
+// Training is data-parallel mini-batch SGD: each batch is sharded over
+// Workers goroutines, every worker builds independent tapes over a
+// weight-aliased replica, per-trace gradients are captured into per-sample
+// buffers and reduced in batch order into the master gradients, and one
+// clip+Adam step applies the mean. Because the reduction order is fixed by
+// batch position — not by worker — the final weights and losses are
+// bit-identical for any Workers value. BatchSize=1 reproduces the previous
+// sequential per-trace SGD exactly.
 func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, error) {
 	if len(traces) == 0 {
 		return TrainStats{}, errors.New("core: no training traces")
@@ -296,19 +380,60 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 	encs := m.encoder.EncodeAll(traces)
 	opt := nn.NewAdam(m, opts.LearningRate)
 	rng := xrand.New(opts.Seed)
+
+	batchSize := opts.BatchSize
+	if batchSize > len(encs) {
+		batchSize = len(encs)
+	}
+	workers := opts.Workers
+	if workers > batchSize {
+		workers = batchSize
+	}
+	replicas := make([]*Model, workers)
+	for w := range replicas {
+		replicas[w] = m.replica()
+	}
+	buffers := make([]*nn.GradBuffer, batchSize)
+	for i := range buffers {
+		buffers[i] = nn.NewGradBuffer(m)
+	}
+	losses := make([]float64, batchSize)
+
 	var lastMean float64
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		order := rng.Perm(len(encs))
 		total := 0.0
-		for _, idx := range order {
-			loss := m.Loss(encs[idx])
+		for start := 0; start < len(order); start += batchSize {
+			end := start + batchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rep := replicas[w]
+					for bi := w; bi < len(batch); bi += workers {
+						nn.ZeroGrads(rep)
+						loss := rep.Loss(encs[batch[bi]])
+						loss.Backward()
+						buffers[bi].Capture(rep)
+						losses[bi] = loss.Item()
+					}
+				}(w)
+			}
+			wg.Wait()
 			opt.ZeroGrad()
-			loss.Backward()
+			nn.ReduceGradBuffers(m, buffers[:len(batch)], 1/float64(len(batch)))
 			if opts.GradClip > 0 {
 				nn.ClipGradNorm(m, opts.GradClip)
 			}
 			opt.Step()
-			total += loss.Item()
+			for _, l := range losses[:len(batch)] {
+				total += l
+			}
 		}
 		lastMean = total / float64(len(encs))
 		if math.IsNaN(lastMean) {
@@ -395,13 +520,20 @@ func (m *Model) Normal(opKey string) NormalStats {
 func (m *Model) NormalsSize() int { return len(m.normals) }
 
 // MeanLoss evaluates the Eq. 5 objective over traces without training.
+// Traces are scored in parallel (forward passes only share read access to
+// the weights); the per-trace losses are summed in trace order so the
+// result is deterministic regardless of scheduling.
 func (m *Model) MeanLoss(traces []*trace.Trace) float64 {
 	if len(traces) == 0 {
 		return 0
 	}
+	losses := make([]float64, len(traces))
+	parallelFor(len(traces), 0, func(i int) {
+		losses[i] = m.Loss(m.Encode(traces[i])).Item()
+	})
 	total := 0.0
-	for _, tr := range traces {
-		total += m.Loss(m.Encode(tr)).Item()
+	for _, l := range losses {
+		total += l
 	}
 	return total / float64(len(traces))
 }

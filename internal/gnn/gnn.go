@@ -102,25 +102,7 @@ func (g *Graph) ParentFeatures(x *tensor.Tensor) *tensor.Tensor {
 // concatRows stacks two matrices with equal column counts vertically,
 // keeping gradients flowing to both.
 func concatRows(a, b *tensor.Tensor) *tensor.Tensor {
-	na, nb := a.Rows(), b.Rows()
-	idxA := make([]int, na)
-	for i := range idxA {
-		idxA[i] = i
-	}
-	idxB := make([]int, nb)
-	for i := range idxB {
-		idxB[i] = i
-	}
-	// Route through SegmentSum into na+nb segments.
-	segA := make([]int, na)
-	copy(segA, idxA)
-	segB := make([]int, nb)
-	for i := range segB {
-		segB[i] = na + i
-	}
-	top := tensor.SegmentSum(a, segA, na+nb)
-	bottom := tensor.SegmentSum(b, segB, na+nb)
-	return tensor.Add(top, bottom)
+	return tensor.ConcatRows(a, b)
 }
 
 // ChildGroupIndex returns, for every node i, the ID of the sibling group

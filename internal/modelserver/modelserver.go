@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
 // ModelInfo is the metadata of one stored model version.
@@ -255,6 +256,7 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	GET  /models/{name}/{version}/lineage  ancestor list (JSON)
 //	POST /models/{name}?trainedOn=...&parent={name}@{version}   publish blob
 //	POST /models/{name}/{version}/retire   retire
+//	POST /models/{name}/{version}/score    batched inference (JSON spans)
 type Server struct {
 	Registry *Registry
 }
@@ -283,6 +285,8 @@ func (s *Server) handleModel(w http.ResponseWriter, req *http.Request) {
 		s.publish(w, req, name)
 	case req.Method == http.MethodPost && len(parts) == 3 && parts[2] == "retire":
 		s.retire(w, name, parts[1])
+	case req.Method == http.MethodPost && len(parts) == 3 && parts[2] == "score":
+		s.score(w, req, name, parts[1])
 	case req.Method == http.MethodGet && len(parts) == 2:
 		s.fetch(w, name, parts[1])
 	case req.Method == http.MethodGet && len(parts) == 3 && parts[2] == "lineage":
@@ -350,6 +354,77 @@ func (s *Server) fetch(w http.ResponseWriter, name, versionStr string) {
 		// Headers already sent; nothing more to do.
 		return
 	}
+}
+
+// ScoreRequest is the body of a score call: raw spans, which the server
+// assembles into traces by trace ID.
+type ScoreRequest struct {
+	Spans []*trace.Span `json:"spans"`
+}
+
+// ScoreResult is the per-trace outcome of a score call.
+type ScoreResult struct {
+	TraceID string `json:"traceId"`
+	// DurScaled and ErrProb are the model's per-span predictions, aligned
+	// with the assembled trace's span order.
+	DurScaled []float64 `json:"durScaled"`
+	ErrProb   []float64 `json:"errProb"`
+}
+
+// ScoreResponse is the JSON reply of a score call.
+type ScoreResponse struct {
+	Results []ScoreResult `json:"results"`
+	// MeanLoss is the Eq. 5 reconstruction objective over the scored
+	// traces — the anomaly signal inference workers threshold on.
+	MeanLoss float64 `json:"meanLoss"`
+	// Skipped counts span groups that did not assemble into a valid trace.
+	Skipped int `json:"skipped"`
+}
+
+// score runs batched inference with the requested model version: spans are
+// assembled into traces and pushed through the model's data-parallel
+// PredictBatch/MeanLoss path.
+func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionStr string) {
+	var (
+		m   *core.Model
+		err error
+	)
+	if versionStr == "latest" {
+		m, _, err = s.Registry.Latest(name)
+	} else {
+		v, perr := strconv.Atoi(versionStr)
+		if perr != nil {
+			http.Error(w, "bad version", http.StatusBadRequest)
+			return
+		}
+		m, _, err = s.Registry.Get(name, v)
+	}
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var body ScoreRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 256<<20)).Decode(&body); err != nil {
+		http.Error(w, "bad score request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body.Spans) == 0 {
+		http.Error(w, "no spans", http.StatusBadRequest)
+		return
+	}
+	traces, skipped := trace.AssembleAll(body.Spans)
+	sort.Slice(traces, func(i, j int) bool { return traces[i].TraceID < traces[j].TraceID })
+	resp := ScoreResponse{Results: make([]ScoreResult, len(traces)), Skipped: skipped}
+	durs, errs := m.PredictBatch(traces, 0)
+	for i, tr := range traces {
+		resp.Results[i] = ScoreResult{TraceID: tr.TraceID, DurScaled: durs[i], ErrProb: errs[i]}
+	}
+	resp.MeanLoss = m.MeanLoss(traces)
+	writeJSON(w, resp)
 }
 
 func (s *Server) retire(w http.ResponseWriter, name, versionStr string) {

@@ -245,6 +245,97 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 }
 
+func TestHTTPScore(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer srv.Close()
+
+	app := synth.Synthetic(16, 7)
+	s := sim.New(app, sim.DefaultOptions(7))
+	res, err := s.Run(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := sim.Traces(res)
+	m := core.NewModel(core.Config{EmbeddingDim: 8, Hidden: 16, Seed: 7})
+	if _, err := m.Train(traces[:20], core.TrainOptions{Epochs: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("prod", m, "synthetic-16", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Score the held-out traces as a flat span batch.
+	query := traces[20:]
+	var body ScoreRequest
+	for _, tr := range query {
+		body.Spans = append(body.Spans, tr.Spans...)
+	}
+	payload, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/models/prod/latest/score", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("score status = %d: %s", resp.StatusCode, msg)
+	}
+	var out ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(query) || out.Skipped != 0 {
+		t.Fatalf("got %d results, %d skipped, want %d results", len(out.Results), out.Skipped, len(query))
+	}
+	if out.MeanLoss <= 0 {
+		t.Fatalf("mean loss = %v", out.MeanLoss)
+	}
+	// Server predictions must equal local single-trace inference.
+	byID := map[string]ScoreResult{}
+	for _, r := range out.Results {
+		byID[r.TraceID] = r
+	}
+	for _, tr := range query {
+		r, ok := byID[tr.TraceID]
+		if !ok {
+			t.Fatalf("trace %s missing from response", tr.TraceID)
+		}
+		dur, errp := m.Predict(tr)
+		if len(r.DurScaled) != len(dur) {
+			t.Fatalf("trace %s: %d predictions, want %d", tr.TraceID, len(r.DurScaled), len(dur))
+		}
+		for i := range dur {
+			if r.DurScaled[i] != dur[i] || r.ErrProb[i] != errp[i] {
+				t.Fatalf("trace %s span %d: server prediction differs", tr.TraceID, i)
+			}
+		}
+	}
+
+	// Error paths.
+	for _, c := range []struct {
+		path, payload string
+		want          int
+	}{
+		{"/models/none/latest/score", string(payload), http.StatusNotFound},
+		{"/models/prod/notanumber/score", string(payload), http.StatusBadRequest},
+		{"/models/prod/latest/score", `{"spans":[]}`, http.StatusBadRequest},
+		{"/models/prod/latest/score", `garbage`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+c.path, "application/json", bytes.NewBufferString(c.payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s: status %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
 func TestHTTPErrors(t *testing.T) {
 	reg, err := Open(t.TempDir())
 	if err != nil {

@@ -1,0 +1,116 @@
+package nn
+
+import "fmt"
+
+// This file implements the gradient-accumulation substrate of the
+// data-parallel training engine (DESIGN.md "Training throughput").
+//
+// Concurrency contract: the tensor tape is lock-free, so two goroutines must
+// never run Backward on graphs that share a differentiable leaf — the lazy
+// gradient allocation and the += accumulation both race. Data-parallel
+// workers therefore each operate on a *replica* module whose parameters
+// alias the master's data storage (AliasParams) but own private gradient
+// buffers. Per-sample gradients are captured into detached GradBuffers and
+// reduced into the master's Param.T.Grad in a fixed order, so the result is
+// bit-identical regardless of how samples were distributed over workers.
+
+// GradBuffer is a detached copy of a module's parameter gradients, laid out
+// in Params() order. Buffers are reusable across steps: Capture overwrites.
+type GradBuffer struct {
+	bufs [][]float64
+}
+
+// NewGradBuffer allocates a buffer shaped like m's parameters.
+func NewGradBuffer(m Module) *GradBuffer {
+	ps := m.Params()
+	b := &GradBuffer{bufs: make([][]float64, len(ps))}
+	for i, p := range ps {
+		b.bufs[i] = make([]float64, p.T.Numel())
+	}
+	return b
+}
+
+// Capture copies m's current parameter gradients into the buffer,
+// overwriting previous contents. Parameters whose gradient was never
+// allocated capture as zero. The module's gradients are left untouched;
+// pair with ZeroGrads before the next backward pass.
+func (b *GradBuffer) Capture(m Module) {
+	ps := m.Params()
+	if len(ps) != len(b.bufs) {
+		panic("nn: GradBuffer.Capture parameter count mismatch")
+	}
+	for i, p := range ps {
+		dst := b.bufs[i]
+		if len(dst) != p.T.Numel() {
+			panic(fmt.Sprintf("nn: GradBuffer.Capture size mismatch for %q", p.Name))
+		}
+		if p.T.Grad == nil {
+			for j := range dst {
+				dst[j] = 0
+			}
+			continue
+		}
+		copy(dst, p.T.Grad)
+	}
+}
+
+// ReduceGradBuffers accumulates scale·buf into dst's Param.T.Grad for every
+// buffer, iterating buffers in slice order and parameters in Params() order.
+// The fixed iteration order makes the floating-point sum association
+// independent of which worker produced which buffer: callers that keep one
+// buffer per sample (ordered by batch position) get bit-identical gradients
+// for any worker count. Gradients accumulate on top of whatever dst already
+// holds; call the optimizer's ZeroGrad (or ZeroGrads) first for a fresh sum.
+func ReduceGradBuffers(dst Module, bufs []*GradBuffer, scale float64) {
+	ps := dst.Params()
+	for _, p := range ps {
+		p.T.EnsureGrad()
+	}
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		if len(b.bufs) != len(ps) {
+			panic("nn: ReduceGradBuffers parameter count mismatch")
+		}
+		for i, p := range ps {
+			src := b.bufs[i]
+			grad := p.T.Grad
+			for j := range src {
+				grad[j] += scale * src[j]
+			}
+		}
+	}
+}
+
+// AliasParams makes every parameter of dst share data storage with the
+// same-named parameter of src, while keeping dst's gradient buffers
+// private. dst then sees src's live weights with zero copying — the replica
+// mechanism of the data-parallel trainer. Gradient state on dst is reset.
+// Modules must expose identical parameter names and shapes.
+func AliasParams(dst, src Module) error {
+	srcByName := make(map[string]Param)
+	for _, p := range src.Params() {
+		srcByName[p.Name] = p
+	}
+	dstPs := dst.Params()
+	if len(dstPs) != len(srcByName) {
+		return fmt.Errorf("nn: AliasParams parameter count mismatch: %d vs %d", len(dstPs), len(srcByName))
+	}
+	for _, p := range dstPs {
+		s, ok := srcByName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: AliasParams source missing %q", p.Name)
+		}
+		if s.T.Numel() != p.T.Numel() {
+			return fmt.Errorf("nn: AliasParams size mismatch for %q: %d vs %d", p.Name, s.T.Numel(), p.T.Numel())
+		}
+		p.T.Data = s.T.Data
+		p.T.Grad = nil
+	}
+	return nil
+}
+
+// ZeroGrads clears every parameter gradient of m. Exported for worker loops
+// that capture gradients between backward passes without an optimizer.
+func ZeroGrads(m Module) { zeroGrads(m.Params()) }

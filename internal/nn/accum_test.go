@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/tensor"
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+func TestGradBufferCaptureAndReduce(t *testing.T) {
+	w := tensor.New([]float64{1, 2}, 1, 2).RequireGrad()
+	holder := paramHolder{{Name: "w", T: w}}
+
+	b1 := NewGradBuffer(holder)
+	w.Grad = []float64{10, 20}
+	b1.Capture(holder)
+
+	b2 := NewGradBuffer(holder)
+	w.Grad = []float64{1, 2}
+	b2.Capture(holder)
+
+	// Capture detached: mutating the module grad must not leak in.
+	w.Grad[0] = 999
+
+	ZeroGrads(holder)
+	ReduceGradBuffers(holder, []*GradBuffer{b1, b2}, 0.5)
+	want := []float64{0.5 * (10 + 1), 0.5 * (20 + 2)}
+	for i, g := range w.Grad {
+		if math.Abs(g-want[i]) > 1e-12 {
+			t.Fatalf("reduced grad[%d] = %v, want %v", i, g, want[i])
+		}
+	}
+
+	// Nil buffers (skipped samples) are tolerated; reduction accumulates on
+	// top of the existing grad.
+	ReduceGradBuffers(holder, []*GradBuffer{nil, b2}, 1)
+	if math.Abs(w.Grad[0]-(want[0]+1)) > 1e-12 {
+		t.Fatalf("second reduce grad[0] = %v", w.Grad[0])
+	}
+}
+
+func TestGradBufferCapturesNilGradAsZero(t *testing.T) {
+	w := tensor.New([]float64{1, 2, 3}, 1, 3).RequireGrad()
+	holder := paramHolder{{Name: "w", T: w}}
+	b := NewGradBuffer(holder)
+	w.Grad = []float64{7, 7, 7}
+	b.Capture(holder)
+	w.Grad = nil
+	b.Capture(holder) // overwrite with zeros
+	ZeroGrads(holder)
+	ReduceGradBuffers(holder, []*GradBuffer{b}, 1)
+	for i, g := range w.Grad {
+		if g != 0 {
+			t.Fatalf("nil-grad capture reduced to %v at %d", g, i)
+		}
+	}
+}
+
+func TestAliasParamsSharesDataPrivateGrad(t *testing.T) {
+	r := xrand.New(21)
+	master := NewMLP("m", []int{3, 4, 2}, ReLU, r)
+	replica := NewMLP("m", []int{3, 4, 2}, ReLU, r.Split("replica"))
+	if err := AliasParams(replica, master); err != nil {
+		t.Fatal(err)
+	}
+	// Data is shared storage: a master update is visible in the replica.
+	mp, rp := master.Params()[0], replica.Params()[0]
+	mp.T.Data[0] = 42
+	if rp.T.Data[0] != 42 {
+		t.Fatal("replica does not alias master data")
+	}
+	// Gradients stay private: backward on the replica must not touch master.
+	x := tensor.FromRows([][]float64{{1, 0.5, -1}})
+	tensor.Sum(tensor.Square(replica.Forward(x))).Backward()
+	if rp.T.Grad == nil {
+		t.Fatal("replica backward produced no grad")
+	}
+	if mp.T.Grad != nil {
+		t.Fatal("replica backward leaked into master grads")
+	}
+}
+
+func TestAliasParamsMismatchErrors(t *testing.T) {
+	r := xrand.New(22)
+	a := NewMLP("a", []int{2, 2}, ReLU, r)
+	b := NewMLP("b", []int{2, 2}, ReLU, r) // different param names
+	if err := AliasParams(a, b); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	c := NewMLP("a", []int{2, 3, 2}, ReLU, r) // different param count
+	if err := AliasParams(a, c); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+// TestReduceOrderIndependentOfProducer is the determinism core of the
+// data-parallel trainer: per-sample buffers reduced in batch order give the
+// same bits no matter which goroutine filled which buffer.
+func TestReduceOrderIndependentOfProducer(t *testing.T) {
+	w := tensor.New([]float64{0}, 1, 1).RequireGrad()
+	holder := paramHolder{{Name: "w", T: w}}
+	// Values chosen so that summation order changes the last ulp.
+	vals := []float64{0.1, 0.2, 0.3, 1e16, -1e16, 0.7}
+	bufs := make([]*GradBuffer, len(vals))
+	for i, v := range vals {
+		bufs[i] = NewGradBuffer(holder)
+		w.Grad = []float64{v}
+		bufs[i].Capture(holder)
+	}
+	ZeroGrads(holder)
+	ReduceGradBuffers(holder, bufs, 1.0/float64(len(vals)))
+	first := w.Grad[0]
+	for trial := 0; trial < 3; trial++ {
+		ZeroGrads(holder)
+		ReduceGradBuffers(holder, bufs, 1.0/float64(len(vals)))
+		if w.Grad[0] != first {
+			t.Fatalf("reduction not reproducible: %v vs %v", w.Grad[0], first)
+		}
+	}
+}

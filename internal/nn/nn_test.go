@@ -258,6 +258,16 @@ func TestClipGradNorm(t *testing.T) {
 	if math.Abs(w.Grad[0]-3) > 1e-9 {
 		t.Fatal("clip modified small gradient")
 	}
+	// maxNorm ≤ 0 disables clipping: norm still reported, grads untouched.
+	w.Grad = []float64{30, 40}
+	for _, max := range []float64{0, -1} {
+		if norm := ClipGradNorm(holder, max); math.Abs(norm-50) > 1e-9 {
+			t.Fatalf("disabled clip (max=%v) reported norm %v", max, norm)
+		}
+		if w.Grad[0] != 30 || w.Grad[1] != 40 {
+			t.Fatalf("disabled clip (max=%v) modified grads: %v", max, w.Grad)
+		}
+	}
 }
 
 func TestCosineLR(t *testing.T) {

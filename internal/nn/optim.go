@@ -121,7 +121,9 @@ func zeroGrads(ps []Param) {
 
 // ClipGradNorm scales all gradients so their global L2 norm does not exceed
 // maxNorm, returning the pre-clip norm. Stabilises GNN training on traces
-// with extreme-tail durations.
+// with extreme-tail durations. maxNorm ≤ 0 disables clipping: the norm is
+// still measured and returned, but gradients are left untouched (a
+// non-positive threshold would otherwise zero or flip them).
 func ClipGradNorm(m Module, maxNorm float64) float64 {
 	total := 0.0
 	for _, p := range m.Params() {
@@ -130,6 +132,9 @@ func ClipGradNorm(m Module, maxNorm float64) float64 {
 		}
 	}
 	norm := math.Sqrt(total)
+	if maxNorm <= 0 {
+		return norm
+	}
 	if norm > maxNorm && norm > 0 {
 		scale := maxNorm / norm
 		for _, p := range m.Params() {

@@ -11,7 +11,9 @@ package rca
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -24,6 +26,17 @@ type Algorithm interface {
 	Name() string
 	Prepare(train []*trace.Trace) error
 	Localize(tr *trace.Trace, sloMicros float64) []string
+}
+
+// BatchLocalizer is implemented by algorithms whose Localize is safe to
+// invoke concurrently (no per-query mutable state). LocalizeBatch analyses
+// many queries in parallel and returns predictions in input order, which is
+// how the evaluation harness and any batch-scoring service should drive
+// inference-heavy algorithms.
+type BatchLocalizer interface {
+	// LocalizeBatch localises traces[i] against sloMicros[i] for every i.
+	// workers ≤ 0 uses GOMAXPROCS.
+	LocalizeBatch(traces []*trace.Trace, sloMicros []float64, workers int) [][]string
 }
 
 // Options tunes the Sleuth localiser.
@@ -181,6 +194,40 @@ type Result struct {
 // Localize implements Algorithm.
 func (l *Localizer) Localize(tr *trace.Trace, sloMicros float64) []string {
 	return l.LocalizeDetailed(tr, sloMicros).Services
+}
+
+// LocalizeBatch implements BatchLocalizer: localisation only reads the
+// model (forward passes and normal-state lookups), so independent queries
+// fan out across workers. Results are returned in input order.
+func (l *Localizer) LocalizeBatch(traces []*trace.Trace, sloMicros []float64, workers int) [][]string {
+	if len(traces) != len(sloMicros) {
+		panic("rca: LocalizeBatch length mismatch")
+	}
+	out := make([][]string, len(traces))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	if workers <= 1 {
+		for i, tr := range traces {
+			out[i] = l.Localize(tr, sloMicros[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(traces); i += workers {
+				out[i] = l.Localize(traces[i], sloMicros[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
 }
 
 // LocalizeDetailed runs the full §3.5 loop and returns instance mappings.

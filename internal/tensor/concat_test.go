@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcatRowsForward(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}})
+	c := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	out := ConcatRows(a, b, c)
+	if out.Rows() != 6 || out.Cols() != 2 {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestConcatRowsGradCheck(t *testing.T) {
+	a := FromRows([][]float64{{0.5, -1}, {2, 0.1}}).RequireGrad()
+	b := FromRows([][]float64{{-0.3, 0.7}}).RequireGrad()
+	err := GradCheck(func() *Tensor {
+		return Sum(Square(ConcatRows(a, b)))
+	}, []*Tensor{a, b}, 1e-6, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatRowsMixedGradFlags(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}}).RequireGrad()
+	b := FromRows([][]float64{{2, 2}}) // constant input
+	out := Sum(ConcatRows(a, b))
+	out.Backward()
+	if a.Grad == nil || a.Grad[0] != 1 {
+		t.Fatalf("grad did not reach a: %v", a.Grad)
+	}
+	if b.Grad != nil {
+		t.Fatal("constant input received a gradient")
+	}
+}
+
+func TestConcatRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column mismatch accepted")
+		}
+	}()
+	ConcatRows(FromRows([][]float64{{1, 2}}), FromRows([][]float64{{1, 2, 3}}))
+}
+
+// TestConcurrentForwardSharedLeaves pins the tape's concurrency contract
+// (see Backward's doc): forward passes allocate fresh outputs and only read
+// inputs, so goroutines may share differentiable leaves as long as nobody
+// calls Backward. Run with -race.
+func TestConcurrentForwardSharedLeaves(t *testing.T) {
+	w := FromRows([][]float64{{1, 2}, {3, 4}}).RequireGrad()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				x := FromRows([][]float64{{float64(g), 1}})
+				_ = Sum(Square(MatMul(x, w))).Item()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentBackwardDisjointLeaves: concurrent Backward is safe when the
+// graphs share no differentiable leaf — the replica regime of the
+// data-parallel trainer (shared weight data via aliasing, private grads).
+// Run with -race.
+func TestConcurrentBackwardDisjointLeaves(t *testing.T) {
+	shared := []float64{1, 2, 3, 4}
+	var wg sync.WaitGroup
+	grads := make([][]float64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Private leaf aliasing shared storage: reads race-free, grads private.
+			w := New(shared, 2, 2).RequireGrad()
+			for iter := 0; iter < 50; iter++ {
+				w.ZeroGrad()
+				x := FromRows([][]float64{{1, -1}})
+				Sum(Square(MatMul(x, w))).Backward()
+			}
+			grads[g] = w.Grad
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range grads[0] {
+			if grads[g][i] != grads[0][i] {
+				t.Fatalf("worker %d grad[%d] = %v, want %v", g, i, grads[g][i], grads[0][i])
+			}
+		}
+	}
+}

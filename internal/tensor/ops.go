@@ -411,6 +411,45 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 	return out
 }
 
+// ConcatRows stacks matrices with equal column counts vertically, keeping
+// gradients flowing to every input. It is the vstack primitive behind
+// sentinel-row gathers (parent features, fallback rows) on the GNN forward
+// hot path.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows with no inputs")
+	}
+	n := ts[0].Cols()
+	total := 0
+	for _, t := range ts {
+		if t.Cols() != n {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		total += t.Rows()
+	}
+	data := make([]float64, 0, total*n)
+	for _, t := range ts {
+		data = append(data, t.Data...)
+	}
+	out := newResult("concatrows", data, []int{total, n}, ts...)
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				size := t.Rows() * n
+				if t.requiresGrad {
+					t.ensureGrad()
+					for i := 0; i < size; i++ {
+						t.Grad[i] += out.Grad[off+i]
+					}
+				}
+				off += size
+			}
+		}
+	}
+	return out
+}
+
 // IndexRows gathers rows of a by idx: out[i] = a[idx[i]]. Gradients
 // scatter-add back to the source rows. idx is captured by reference and
 // must not be mutated afterwards.

@@ -137,6 +137,11 @@ func (t *Tensor) ensureGrad() {
 	}
 }
 
+// EnsureGrad allocates the gradient buffer if absent. Optimizer-side helpers
+// (gradient reduction) use it to materialise leaf gradients before
+// accumulating into them.
+func (t *Tensor) EnsureGrad() { t.ensureGrad() }
+
 // ZeroGrad clears the accumulated gradient.
 func (t *Tensor) ZeroGrad() {
 	for i := range t.Grad {
@@ -174,6 +179,13 @@ func newResult(op string, data []float64, shape []int, parents ...*Tensor) *Tens
 // scalar (1-element) tensor, accumulating gradients into every reachable
 // tensor that requires them. Gradients accumulate across calls; use
 // ZeroGrad (or an optimizer step) between backward passes.
+//
+// Concurrency: forward ops only read their inputs, so goroutines may build
+// independent graphs over shared leaves concurrently. Backward, however,
+// writes into the Grad buffers of every reachable leaf without locking —
+// concurrent Backward calls are only safe when the graphs share no
+// differentiable leaf. Data-parallel training gets per-goroutine leaves by
+// aliasing parameter data across module replicas (nn.AliasParams).
 func (t *Tensor) Backward() {
 	if len(t.Data) != 1 {
 		panic("tensor: Backward on non-scalar tensor")

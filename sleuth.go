@@ -146,6 +146,12 @@ type TrainConfig struct {
 	// Epochs and LearningRate drive optimisation (defaults 5 / 1e-3).
 	Epochs       int
 	LearningRate float64
+	// BatchSize is the number of traces averaged into one optimizer step
+	// (default 1, the paper's per-trace SGD).
+	BatchSize int
+	// Workers parallelises gradient computation within a batch (default
+	// GOMAXPROCS). Training results are bit-identical for any value.
+	Workers int
 	// Seed makes training reproducible.
 	Seed uint64
 }
@@ -167,6 +173,8 @@ func Train(traces []*Trace, cfg TrainConfig) (*Model, error) {
 	_, err := m.Train(traces, core.TrainOptions{
 		Epochs:       cfg.Epochs,
 		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		Workers:      cfg.Workers,
 		Seed:         cfg.Seed,
 	})
 	if err != nil {
@@ -181,6 +189,8 @@ func FineTune(m *Model, traces []*Trace, cfg TrainConfig) error {
 	_, err := m.FineTune(traces, core.TrainOptions{
 		Epochs:       cfg.Epochs,
 		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		Workers:      cfg.Workers,
 		Seed:         cfg.Seed,
 	})
 	return err
