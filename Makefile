@@ -1,6 +1,8 @@
 GO ?= go
+BENCHOUT ?= bench-records
+STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-go obs-overhead
 
 build:
 	$(GO) build ./...
@@ -14,10 +16,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: static checks, a clean build, and the full
+# verify is the pre-merge gate: static checks, a clean build, the full
 # suite under the race detector (the data-parallel trainer and the batched
-# inference paths are only trustworthy race-clean).
-verify: vet build race
+# inference paths are only trustworthy race-clean), and a smoke run of the
+# observability-overhead benchmark — the disabled-path numbers back the
+# "off by default costs nothing" claim.
+verify: vet build race obs-overhead
 
+# bench runs the paper's evaluation harness and leaves a machine-readable
+# BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
+# records accumulate comparably across commits.
 bench:
+	mkdir -p $(BENCHOUT)
+	$(GO) run ./cmd/benchrunner -exp all -benchout $(BENCHOUT) -stamp $(STAMP)
+
+# bench-go runs the in-tree Go micro/macro benchmarks (training scaling,
+# inference batching, obs overhead).
+bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+obs-overhead:
+	$(GO) test -bench=BenchmarkObsOverhead -benchtime=10000x -run=^$$ ./internal/obs

@@ -6,27 +6,66 @@
 //	benchrunner -exp all                 # everything at quick effort
 //	benchrunner -exp table3 -full        # one experiment at paper-scale effort
 //	benchrunner -exp fig1,fig5 -seed 7
+//	benchrunner -exp all -benchout . -stamp 2026-08-06T00:00:00Z
 //
 // Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 ablation.
+//
+// With -benchout, every experiment additionally writes a machine-readable
+// BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
+// -stamp) into the given directory, so the performance trajectory of the
+// pipeline accumulates across commits. `make bench` drives this.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/eval"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 )
+
+// benchResult is the machine-readable record of one experiment run,
+// mirroring the fields of testing.B output so downstream tooling can treat
+// both uniformly.
+type benchResult struct {
+	Op          string `json:"op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	Timestamp   string `json:"timestamp"`
+	Seed        uint64 `json:"seed"`
+	Full        bool   `json:"full"`
+}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		full    = flag.Bool("full", false, "paper-scale effort (slow)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		full     = flag.Bool("full", false, "paper-scale effort (slow)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		benchout = flag.String("benchout", "", "directory for BENCH_<name>.json records (empty = off)")
+		stamp    = flag.String("stamp", "", "timestamp recorded in BENCH_*.json (default: now, RFC 3339)")
+		metrics  = flag.Bool("metrics", false, "enable the obs registry and print its snapshot at exit")
 	)
 	flag.Parse()
+
+	if *metrics {
+		obs.Enable()
+	}
+	if *stamp == "" {
+		*stamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	if *benchout != "" {
+		if err := os.MkdirAll(*benchout, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: creating %s: %v\n", *benchout, err)
+			os.Exit(1)
+		}
+	}
 
 	effort := eval.QuickEffort(*seed)
 	if *full {
@@ -49,14 +88,41 @@ func main() {
 			return
 		}
 		fmt.Printf("\n=== %s — %s ===\n", strings.ToUpper(name), title)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		out, err := fn()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
-		fmt.Printf("(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n", name, elapsed.Round(time.Millisecond))
+		if *benchout != "" {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			res := benchResult{
+				Op:          name,
+				NsPerOp:     elapsed.Nanoseconds(),
+				AllocsPerOp: after.Mallocs - before.Mallocs,
+				BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+				Timestamp:   *stamp,
+				Seed:        *seed,
+				Full:        *full,
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: encoding %s record: %v\n", name, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*benchout, "BENCH_"+name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(record written to %s)\n", path)
+		}
 	}
 
 	run("table1", "benchmark specifications", func() (string, error) {
@@ -141,4 +207,10 @@ func main() {
 		b.WriteString(eval.RenderAblationEpsilon(epsRows))
 		return b.String(), nil
 	})
+
+	if *metrics {
+		if data, err := json.MarshalIndent(obs.Global().Snapshot(), "", "  "); err == nil {
+			fmt.Printf("\nmetrics snapshot:\n%s\n", data)
+		}
+	}
 }

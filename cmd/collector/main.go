@@ -18,18 +18,27 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/collector"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/store"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":4318", "listen address")
-		out  = flag.String("out", "spans.jsonl", "spans JSONL written on shutdown")
+		addr      = flag.String("addr", ":4318", "listen address")
+		out       = flag.String("out", "spans.jsonl", "spans JSONL written on shutdown")
+		enableObs = flag.Bool("obs", true, "enable the metrics registry and /debug endpoints")
+		accessLog = flag.Bool("access-log", false, "log one structured line per request")
 	)
 	flag.Parse()
 
+	if *enableObs {
+		obs.Enable()
+	}
 	st := store.New()
 	col := collector.New(st)
+	if *accessLog {
+		col.AccessLog = obs.NewAccessLogger()
+	}
 	srv := &http.Server{Addr: *addr, Handler: col.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
 	done := make(chan os.Signal, 1)

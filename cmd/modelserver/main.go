@@ -14,6 +14,9 @@
 //	GET  /models/{name}/{version}         pinned blob
 //	GET  /models/{name}/{version}/lineage ancestry (JSON)
 //	POST /models/{name}/{version}/retire  retire a version
+//	POST /models/{name}/{version}/score   batched inference (JSON spans)
+//	GET  /debug/metrics                   metrics snapshot (JSON)
+//	GET  /debug/pprof/...                 runtime profiles
 package main
 
 import (
@@ -24,22 +27,32 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/modelserver"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8500", "listen address")
-		dir  = flag.String("dir", "models", "registry directory")
+		addr      = flag.String("addr", ":8500", "listen address")
+		dir       = flag.String("dir", "models", "registry directory")
+		enableObs = flag.Bool("obs", true, "enable the metrics registry and /debug endpoints")
+		accessLog = flag.Bool("access-log", true, "log one structured line per request")
 	)
 	flag.Parse()
+	if *enableObs {
+		obs.Enable()
+	}
 	reg, err := modelserver.Open(*dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
 		os.Exit(1)
 	}
+	server := &modelserver.Server{Registry: reg}
+	if *accessLog {
+		server.AccessLog = obs.NewAccessLogger()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           (&modelserver.Server{Registry: reg}).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("model server listening on %s (registry %s, %d models)\n", *addr, *dir, len(reg.List()))

@@ -4,11 +4,20 @@
 //	sleuthctl rca     -traces incident.jsonl -normal spans.jsonl -model model.gob
 //	sleuthctl cluster -traces incident.jsonl
 //	sleuthctl ops     -traces spans.jsonl      # per-operation statistics
+//	sleuthctl selftrace -in selftrace.json     # replay a pipeline self-trace
 //
 // Trace files are span JSONL as written by tracegen or the collector.
+//
+// train and rca accept -selftrace out.json to record Sleuth's own pipeline
+// stages as an OTLP document in the same span schema it analyzes, and
+// -metrics to print the metrics-registry snapshot after the run. A
+// self-trace replays through `sleuthctl selftrace`, which applies Sleuth's
+// own trace machinery (assembly, exclusive durations, critical path) to
+// Sleuth's own execution.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +26,8 @@ import (
 
 	sleuth "github.com/sleuth-rca/sleuth"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
+	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/store"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
@@ -35,6 +46,8 @@ func main() {
 		err = cmdCluster(os.Args[2:])
 	case "ops":
 		err = cmdOps(os.Args[2:])
+	case "selftrace":
+		err = cmdSelfTrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -45,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace> [flags]")
 	os.Exit(2)
 }
 
@@ -57,6 +70,32 @@ func loadTraces(path string) ([]*trace.Trace, error) {
 	return st.Traces(store.Query{}), nil
 }
 
+// writeSelfTrace exports a pipeline self-trace as an OTLP document.
+func writeSelfTrace(path string, tracer *sleuth.Tracer) error {
+	if path == "" || tracer == nil {
+		return nil
+	}
+	data, err := otel.EncodeOTLP(tracer.Spans())
+	if err != nil {
+		return fmt.Errorf("encoding self-trace: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("self-trace (%d spans) written to %s — replay with: sleuthctl selftrace -in %s\n",
+		tracer.Len(), path, path)
+	return nil
+}
+
+// dumpMetrics prints the process metrics-registry snapshot.
+func dumpMetrics() {
+	data, err := json.MarshalIndent(obs.Global().Snapshot(), "", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Printf("metrics snapshot:\n%s\n", data)
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	tracesPath := fs.String("traces", "", "training spans JSONL (required)")
@@ -66,11 +105,22 @@ func cmdTrain(args []string) error {
 	batch := fs.Int("batch", 1, "mini-batch size (traces per optimizer step)")
 	workers := fs.Int("workers", 0, "gradient workers per batch (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "training seed")
+	selftrace := fs.String("selftrace", "", "write the pipeline self-trace (OTLP JSON) here")
+	metrics := fs.Bool("metrics", false, "print the metrics-registry snapshot after the run")
 	_ = fs.Parse(args)
 	if *tracesPath == "" {
 		return fmt.Errorf("train: -traces is required")
 	}
+	if *metrics {
+		obs.Enable()
+	}
+	var tracer *sleuth.Tracer
+	if *selftrace != "" {
+		tracer = sleuth.NewSelfTracer("")
+	}
+	collectSpan := tracer.Start("collect", nil)
 	traces, err := loadTraces(*tracesPath)
+	collectSpan.End()
 	if err != nil {
 		return err
 	}
@@ -78,6 +128,7 @@ func cmdTrain(args []string) error {
 	m, err := sleuth.Train(traces, sleuth.TrainConfig{
 		Epochs: *epochs, LearningRate: *lr,
 		BatchSize: *batch, Workers: *workers, Seed: *seed,
+		Tracer: tracer,
 	})
 	if err != nil {
 		return err
@@ -87,6 +138,12 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("saved model (%d parameters, %d known operations) to %s\n",
 		m.NumParams(), m.NormalsSize(), *modelPath)
+	if err := writeSelfTrace(*selftrace, tracer); err != nil {
+		return err
+	}
+	if *metrics {
+		dumpMetrics()
+	}
 	return nil
 }
 
@@ -95,15 +152,25 @@ func cmdRCA(args []string) error {
 	tracesPath := fs.String("traces", "", "anomalous spans JSONL (required)")
 	normalPath := fs.String("normal", "", "normal spans JSONL for SLO calibration")
 	modelPath := fs.String("model", "model.gob", "trained model path")
+	selftrace := fs.String("selftrace", "", "write the pipeline self-trace (OTLP JSON) here")
+	metrics := fs.Bool("metrics", false, "print the metrics-registry snapshot after the run")
 	_ = fs.Parse(args)
 	if *tracesPath == "" {
 		return fmt.Errorf("rca: -traces is required")
+	}
+	if *metrics {
+		obs.Enable()
+	}
+	var tracer *sleuth.Tracer
+	if *selftrace != "" {
+		tracer = sleuth.NewSelfTracer("")
 	}
 	m, err := sleuth.LoadModel(*modelPath)
 	if err != nil {
 		return err
 	}
 	analyzer := sleuth.NewAnalyzer(m)
+	analyzer.Tracer = tracer
 	if *normalPath != "" {
 		normal, err := loadTraces(*normalPath)
 		if err != nil {
@@ -112,7 +179,9 @@ func cmdRCA(args []string) error {
 		m.SetNormals(normal)
 		analyzer.SetSLOs(sleuth.SLOs(normal))
 	}
+	collectSpan := tracer.Start("collect", nil)
 	traces, err := loadTraces(*tracesPath)
+	collectSpan.End()
 	if err != nil {
 		return err
 	}
@@ -132,6 +201,63 @@ func cmdRCA(args []string) error {
 		}
 		fmt.Printf("  %-12s traces=%-4d root causes: services=%v pods=%v nodes=%v\n",
 			label, len(d.TraceIDs), d.Services, d.Pods, d.Nodes)
+	}
+	if err := writeSelfTrace(*selftrace, tracer); err != nil {
+		return err
+	}
+	if *metrics {
+		dumpMetrics()
+	}
+	return nil
+}
+
+// cmdSelfTrace replays a pipeline self-trace through Sleuth's own trace
+// machinery: the OTLP document is decoded with the same codec the
+// collector uses, assembled with the same Assemble, and reported with the
+// same exclusive-duration and critical-path analysis the RCA stage applies
+// to application traces.
+func cmdSelfTrace(args []string) error {
+	fs := flag.NewFlagSet("selftrace", flag.ExitOnError)
+	in := fs.String("in", "", "self-trace OTLP JSON written by -selftrace (required)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("selftrace: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	spans, err := otel.DecodeOTLP(data)
+	if err != nil {
+		return err
+	}
+	traces, skipped := trace.AssembleAll(spans)
+	if skipped > 0 {
+		fmt.Printf("warning: %d span groups did not assemble\n", skipped)
+	}
+	for _, tr := range traces {
+		fmt.Printf("self-trace %s: %d stages, %dµs end-to-end\n",
+			tr.TraceID, tr.Len(), tr.RootDuration())
+		// Stage tree with durations; exclusive duration separates a
+		// stage's own cost from its sub-stages'.
+		var walk func(i, depth int)
+		walk = func(i, depth int) {
+			sp := tr.Spans[i]
+			fmt.Printf("  %s%-*s %10dµs  (exclusive %dµs)\n",
+				strings.Repeat("  ", depth), 28-2*depth, sp.Name,
+				sp.Duration(), tr.ExclusiveDuration(i))
+			for _, c := range tr.Children(i) {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range tr.Roots() {
+			walk(r, 0)
+		}
+		var path []string
+		for _, i := range tr.CriticalPath() {
+			path = append(path, tr.Spans[i].Name)
+		}
+		fmt.Printf("  critical path: %s\n", strings.Join(path, " → "))
 	}
 	return nil
 }

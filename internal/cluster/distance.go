@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
@@ -170,6 +171,10 @@ func (m *Matrix) Set(i, j int, v float64) {
 // cost is near-uniform and workers drain the queue evenly.
 func Pairwise(sets []WeightedSet) *Matrix {
 	n := len(sets)
+	timer := obs.H("cluster.pairwise_us").Start()
+	defer timer.Stop()
+	obs.C("cluster.pairwise_calls").Inc()
+	obs.C("cluster.distances").Add(int64(n) * int64(n-1) / 2)
 	m := NewMatrix(n)
 	fillRow := func(i int) {
 		for j := i + 1; j < n; j++ {

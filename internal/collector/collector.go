@@ -2,13 +2,22 @@
 // server accepting OpenTelemetry-style, Zipkin-style and Jaeger-style JSON
 // payloads and forwarding the decoded spans into a storage engine — the
 // single-process equivalent of the paper's OpenTelemetry collector cluster.
+//
+// Ingestion is hardened and self-observing: whole-payload decode failures
+// and individually malformed spans are counted in the process metrics
+// registry (collector.decode_errors, collector.spans_rejected /
+// collector.spans_accepted) and surfaced in the ingest response instead of
+// being silently dropped. The handler also exposes /debug/metrics and
+// /debug/pprof via internal/obs.
 package collector
 
 import (
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/store"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -19,6 +28,8 @@ type Collector struct {
 	Store *store.Store
 	// MaxBodyBytes bounds accepted payload sizes (default 32 MiB).
 	MaxBodyBytes int64
+	// AccessLog, if non-nil, receives one structured line per request.
+	AccessLog *log.Logger
 }
 
 // New creates a Collector feeding the given store.
@@ -33,6 +44,11 @@ func New(st *store.Store) *Collector {
 //	POST /api/traces     — Jaeger-style JSON
 //	GET  /healthz        — liveness
 //	GET  /stats          — span/trace counts
+//	GET  /debug/metrics  — metrics registry snapshot (JSON)
+//	GET  /debug/pprof/…  — runtime profiles
+//
+// Every request flows through the obs access-log middleware, which assigns
+// (or propagates) an X-Request-ID and records request counters/latency.
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/traces", c.ingest(otel.DecodeOTLP))
@@ -44,7 +60,19 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, `{"spans":%d,"traces":%d}`+"\n", c.Store.SpanCount(), c.Store.TraceCount())
 	})
-	return mux
+	obs.Mount(mux)
+	return obs.AccessLog("collector", c.AccessLog, mux)
+}
+
+// validSpan reports whether a decoded span carries the minimum structure
+// the pipeline needs. Invalid spans are dropped (and counted) rather than
+// poisoning trace assembly downstream.
+func validSpan(s *trace.Span) bool {
+	return s != nil &&
+		s.TraceID != "" &&
+		s.SpanID != "" &&
+		s.Kind.Valid() &&
+		s.End >= s.Start
 }
 
 // ingest builds a POST handler around a decoder.
@@ -54,18 +82,38 @@ func (c *Collector) ingest(decode func([]byte) ([]*trace.Span, error)) http.Hand
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		obs.C("collector.ingest_requests").Inc()
 		body, err := io.ReadAll(io.LimitReader(r.Body, c.MaxBodyBytes))
 		if err != nil {
+			obs.C("collector.read_errors").Inc()
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
 		spans, err := decode(body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			// A payload that does not decode at all is one decode error;
+			// the count is surfaced in the response body alongside the
+			// error so lossy clients can see drops, not just 400s.
+			obs.C("collector.decode_errors").Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"accepted":0,"decodeErrors":1,"error":%q}`+"\n", err.Error())
 			return
 		}
-		c.Store.AddSpans(spans)
+		accepted := spans[:0]
+		rejected := 0
+		for _, s := range spans {
+			if validSpan(s) {
+				accepted = append(accepted, s)
+			} else {
+				rejected++
+			}
+		}
+		obs.C("collector.spans_accepted").Add(int64(len(accepted)))
+		obs.C("collector.spans_rejected").Add(int64(rejected))
+		c.Store.AddSpans(accepted)
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
-		fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(spans))
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", len(accepted), rejected)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/sleuth-rca/sleuth/internal/features"
 	"github.com/sleuth-rca/sleuth/internal/gnn"
 	"github.com/sleuth-rca/sleuth/internal/nn"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/stats"
 	"github.com/sleuth-rca/sleuth/internal/tensor"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -261,11 +262,17 @@ func (m *Model) Predict(tr *trace.Trace) (durScaled, errProb []float64) {
 // of scoring goroutines can share one model (see tensor.Backward's
 // concurrency contract).
 func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, errProb [][]float64) {
+	perTrace := obs.H("core.predict.trace_us")
+	batchTimer := obs.H("core.predict.batch_us").Start()
+	obs.C("core.predict.traces").Add(int64(len(traces)))
 	durScaled = make([][]float64, len(traces))
 	errProb = make([][]float64, len(traces))
 	parallelFor(len(traces), workers, func(i int) {
+		t := perTrace.Start()
 		durScaled[i], errProb[i] = m.Predict(traces[i])
+		t.Stop()
 	})
+	batchTimer.Stop()
 	return durScaled, errProb
 }
 
@@ -319,6 +326,9 @@ type TrainOptions struct {
 	Seed uint64
 	// Progress, if non-nil, receives (epoch, meanLoss) after each epoch.
 	Progress func(epoch int, loss float64)
+	// Tracer, if non-nil, records the training run as self-trace spans
+	// (featurize stage plus one gnn-forward-backward span per epoch).
+	Tracer *obs.Tracer
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -376,8 +386,25 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 		return TrainStats{}, errors.New("core: no training traces")
 	}
 	opts = opts.withDefaults()
+	// Metric handles are fetched once per Train call; with observability
+	// disabled (the default) every handle is nil and each use below costs a
+	// nil check — see BenchmarkObsOverhead in internal/obs.
+	var (
+		epochsCtr  = obs.C("core.train.epochs")
+		batchesCtr = obs.C("core.train.batches")
+		tracesCtr  = obs.C("core.train.traces")
+		lossGauge  = obs.G("core.train.loss")
+		normGauge  = obs.G("core.train.grad_norm")
+		epochHist  = obs.H("core.train.epoch_us")
+		batchHist  = obs.H("core.train.batch_us")
+	)
+	tracesCtr.Add(int64(len(traces)))
+	trainSpan := opts.Tracer.Start("train", nil)
+	defer trainSpan.End()
+	featSpan := trainSpan.Child("featurize")
 	m.SetNormals(traces)
 	encs := m.encoder.EncodeAll(traces)
+	featSpan.End()
 	opt := nn.NewAdam(m, opts.LearningRate)
 	rng := xrand.New(opts.Seed)
 
@@ -401,6 +428,8 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 
 	var lastMean float64
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		epochTimer := epochHist.Start()
+		epochSpan := trainSpan.Child("gnn-forward-backward")
 		order := rng.Perm(len(encs))
 		total := 0.0
 		for start := 0; start < len(order); start += batchSize {
@@ -409,6 +438,7 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 				end = len(order)
 			}
 			batch := order[start:end]
+			batchTimer := batchHist.Start()
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -427,17 +457,32 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 			wg.Wait()
 			opt.ZeroGrad()
 			nn.ReduceGradBuffers(m, buffers[:len(batch)], 1/float64(len(batch)))
-			if opts.GradClip > 0 {
-				nn.ClipGradNorm(m, opts.GradClip)
+			if opts.GradClip > 0 || normGauge != nil {
+				// ClipGradNorm measures (and, when enabled, clips) the
+				// global gradient norm; with clipping disabled it is called
+				// only for the gauge.
+				normGauge.Set(nn.ClipGradNorm(m, opts.GradClip))
 			}
 			opt.Step()
 			for _, l := range losses[:len(batch)] {
 				total += l
 			}
+			batchTimer.Stop()
+			batchesCtr.Inc()
 		}
 		lastMean = total / float64(len(encs))
 		if math.IsNaN(lastMean) {
+			epochSpan.SetError(true)
+			epochSpan.End()
 			return TrainStats{}, fmt.Errorf("core: loss diverged at epoch %d", epoch)
+		}
+		lossGauge.Set(lastMean)
+		epochsCtr.Inc()
+		epochTimer.Stop()
+		if epochSpan != nil {
+			epochSpan.Annotate("epoch", fmt.Sprintf("%d", epoch))
+			epochSpan.Annotate("mean_loss", fmt.Sprintf("%.6f", lastMean))
+			epochSpan.End()
 		}
 		if opts.Progress != nil {
 			opts.Progress(epoch, lastMean)

@@ -11,6 +11,7 @@ package gnn
 
 import (
 	"github.com/sleuth-rca/sleuth/internal/nn"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/tensor"
 	"github.com/sleuth-rca/sleuth/internal/xrand"
 )
@@ -170,6 +171,8 @@ func (c *GINSiblingConv) Forward(g *Graph, xStar, x *tensor.Tensor) *tensor.Tens
 	if xStar.Cols() != c.parentDim || x.Cols() != c.nodeDim {
 		panic("gnn: GINSiblingConv feature width mismatch")
 	}
+	obs.C("gnn.forwards").Inc()
+	obs.C("gnn.forward_nodes").Add(int64(g.N()))
 	parentX := g.ParentFeatures(xStar)                    // [n, parentDim]
 	selfTerm := tensor.Mul(x, tensor.AddScalar(c.Eps, 1)) // (1+ε)·x_j
 	agg := tensor.Add(selfTerm, g.SiblingSum(x))          // + Σ siblings
@@ -210,6 +213,8 @@ func (c *GCNSiblingConv) Forward(g *Graph, xStar, x *tensor.Tensor) *tensor.Tens
 	if xStar.Cols() != c.parentDim || x.Cols() != c.nodeDim {
 		panic("gnn: GCNSiblingConv feature width mismatch")
 	}
+	obs.C("gnn.forwards").Inc()
+	obs.C("gnn.forward_nodes").Add(int64(g.N()))
 	mean := c.groupMean(g, x)
 	h := tensor.ReLU(c.L1.Forward(tensor.ConcatCols(g.ParentFeatures(xStar), mean)))
 	// Second aggregation round over the same sibling structure.

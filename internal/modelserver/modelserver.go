@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
@@ -257,16 +259,24 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	POST /models/{name}?trainedOn=...&parent={name}@{version}   publish blob
 //	POST /models/{name}/{version}/retire   retire
 //	POST /models/{name}/{version}/score    batched inference (JSON spans)
+//	GET  /debug/metrics                    metrics registry snapshot (JSON)
+//	GET  /debug/pprof/...                  runtime profiles
 type Server struct {
 	Registry *Registry
+	// AccessLog, if non-nil, receives one structured line per request
+	// (method, path, status, duration, request ID). The request ID is
+	// echoed in the X-Request-ID response header either way.
+	AccessLog *log.Logger
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, wrapped in the obs access-log
+// middleware and carrying the /debug observability surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/models", s.handleList)
 	mux.HandleFunc("/models/", s.handleModel)
-	return mux
+	obs.Mount(mux)
+	return obs.AccessLog("modelserver", s.AccessLog, mux)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
@@ -385,6 +395,9 @@ type ScoreResponse struct {
 // assembled into traces and pushed through the model's data-parallel
 // PredictBatch/MeanLoss path.
 func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionStr string) {
+	timer := obs.H("modelserver.score_us").Start()
+	defer timer.Stop()
+	obs.C("modelserver.score.requests").Inc()
 	var (
 		m   *core.Model
 		err error
@@ -417,6 +430,9 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 		return
 	}
 	traces, skipped := trace.AssembleAll(body.Spans)
+	obs.C("modelserver.score.spans").Add(int64(len(body.Spans)))
+	obs.C("modelserver.score.traces").Add(int64(len(traces)))
+	obs.C("modelserver.score.skipped").Add(int64(skipped))
 	sort.Slice(traces, func(i, j int) bool { return traces[i].TraceID < traces[j].TraceID })
 	resp := ScoreResponse{Results: make([]ScoreResult, len(traces)), Skipped: skipped}
 	durs, errs := m.PredictBatch(traces, 0)

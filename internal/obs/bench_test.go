@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead measures the per-operation cost of every metric
+// primitive in both states: disabled (nil handles — the price every hot
+// path pays when observability is off) and enabled. The disabled numbers
+// are the ones that matter for the <5% training-regression budget.
+func BenchmarkObsOverhead(b *testing.B) {
+	defer Disable()
+	for _, enabled := range []bool{false, true} {
+		state := "disabled"
+		if enabled {
+			state = "enabled"
+		}
+		setup := func() (c *Counter, g *Gauge, h *Histogram) {
+			Disable()
+			if enabled {
+				Enable()
+			}
+			return C("bench.counter"), G("bench.gauge"), H("bench.hist_us")
+		}
+		b.Run(state+"/counter-inc", func(b *testing.B) {
+			c, _, _ := setup()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		})
+		b.Run(state+"/counter-inc-parallel", func(b *testing.B) {
+			c, _, _ := setup()
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.Inc()
+				}
+			})
+		})
+		b.Run(state+"/gauge-set", func(b *testing.B) {
+			_, g, _ := setup()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Set(float64(i))
+			}
+		})
+		b.Run(state+"/hist-observe", func(b *testing.B) {
+			_, _, h := setup()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(float64(i % 1000))
+			}
+		})
+		b.Run(state+"/timer", func(b *testing.B) {
+			_, _, h := setup()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Start().Stop()
+			}
+		})
+		b.Run(state+"/handle-fetch", func(b *testing.B) {
+			setup()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = C("bench.counter")
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// HTTP debug surfaces: the /debug/metrics JSON endpoint, net/http/pprof
+// wiring, and the access-log middleware shared by the model server and the
+// collector.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// MetricsHandler serves a JSON Snapshot of reg. A nil registry serves an
+// empty snapshot (all sections present, empty objects), so the endpoint is
+// probe-safe whether or not observability is enabled.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	}
+}
+
+// Mount attaches the debug surface to a mux:
+//
+//	GET /debug/metrics        registry snapshot (JSON)
+//	GET /debug/pprof/...      net/http/pprof profiles
+//
+// The metrics endpoint resolves the process registry per request, so a
+// registry enabled after Mount is still picked up.
+func Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		MetricsHandler(Global())(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// reqSeq numbers generated request IDs; reqEpoch makes IDs unique across
+// process restarts.
+var (
+	reqSeq   atomic.Int64
+	reqEpoch = time.Now().UnixNano() & 0xffffff
+)
+
+// nextRequestID generates a process-unique request identifier.
+func nextRequestID() string {
+	return fmt.Sprintf("%06x-%06d", reqEpoch, reqSeq.Add(1))
+}
+
+// statusWriter captures the response status code for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with request observability for one component:
+//
+//   - a request ID taken from the X-Request-ID header (or generated) and
+//     echoed back in the X-Request-ID response header;
+//   - one structured log line per request — method, path, status, duration
+//     and the request ID — when logger is non-nil;
+//   - request counters (<component>.http.requests, per-status-class
+//     <component>.http.status_Nxx) and a latency histogram
+//     (<component>.http.request_us) in the process registry.
+func AccessLog(component string, logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(start)
+		C(component + ".http.requests").Inc()
+		C(fmt.Sprintf("%s.http.status_%dxx", component, status/100)).Inc()
+		H(component + ".http.request_us").ObserveDuration(dur)
+		if logger != nil {
+			logger.Printf("ts=%s component=%s method=%s path=%s status=%d dur_ms=%.3f id=%s",
+				start.UTC().Format(time.RFC3339Nano), component, r.Method,
+				r.URL.Path, status, float64(dur)/float64(time.Millisecond), id)
+		}
+	})
+}
+
+// NewAccessLogger returns the default structured request logger (stderr, no
+// prefix — every field is in the logfmt line itself).
+func NewAccessLogger() *log.Logger { return log.New(os.Stderr, "", 0) }

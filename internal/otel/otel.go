@@ -8,6 +8,7 @@ package otel
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -137,6 +138,16 @@ func EncodeOTLP(spans []*trace.Span) ([]byte, error) {
 			if s.Node != "" {
 				o.Attributes = append(o.Attributes, otlpKV{Key: "k8s.node.name", Value: otlpValue{StringValue: s.Node}})
 			}
+			if len(s.Attrs) > 0 {
+				keys := make([]string, 0, len(s.Attrs))
+				for k := range s.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					o.Attributes = append(o.Attributes, otlpKV{Key: k, Value: otlpValue{StringValue: s.Attrs[k]}})
+				}
+			}
 			rs.ScopeSpans[0].Spans = append(rs.ScopeSpans[0].Spans, o)
 		}
 		doc.ResourceSpans = append(doc.ResourceSpans, rs)
@@ -185,6 +196,11 @@ func DecodeOTLP(data []byte) ([]*trace.Span, error) {
 						sp.Pod = kv.Value.StringValue
 					case "k8s.node.name":
 						sp.Node = kv.Value.StringValue
+					default:
+						if sp.Attrs == nil {
+							sp.Attrs = map[string]string{}
+						}
+						sp.Attrs[kv.Key] = kv.Value.StringValue
 					}
 				}
 				out = append(out, sp)

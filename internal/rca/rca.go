@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
@@ -203,6 +204,8 @@ func (l *Localizer) LocalizeBatch(traces []*trace.Trace, sloMicros []float64, wo
 	if len(traces) != len(sloMicros) {
 		panic("rca: LocalizeBatch length mismatch")
 	}
+	batchTimer := obs.H("rca.localize_batch_us").Start()
+	defer batchTimer.Stop()
 	out := make([][]string, len(traces))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -232,8 +235,12 @@ func (l *Localizer) LocalizeBatch(traces []*trace.Trace, sloMicros []float64, wo
 
 // LocalizeDetailed runs the full §3.5 loop and returns instance mappings.
 func (l *Localizer) LocalizeDetailed(tr *trace.Trace, sloMicros float64) Result {
+	timer := obs.H("rca.localize_us").Start()
+	obs.C("rca.localizations").Inc()
+	cfCtr := obs.C("rca.counterfactuals")
 	cands := l.Candidates(tr)
 	if len(cands) == 0 {
+		timer.Stop()
 		return Result{}
 	}
 	max := l.Opts.MaxCandidates
@@ -248,7 +255,10 @@ func (l *Localizer) LocalizeDetailed(tr *trace.Trace, sloMicros float64) Result 
 		}
 		used = append(used, cands[k].service)
 		cf := l.Model.Counterfactual(tr, restored)
+		cfCtr.Inc()
 		if cf.RootDurationMicros <= sloMicros && cf.RootErrorProb < l.Opts.ErrThreshold {
+			obs.C("rca.normalized").Inc()
+			timer.Stop()
 			return l.result(tr, used, true, cf.RootDurationMicros)
 		}
 	}
@@ -256,6 +266,8 @@ func (l *Localizer) LocalizeDetailed(tr *trace.Trace, sloMicros float64) Result 
 	// excess is not explained by restorations, so piling on candidates
 	// would only cost precision.
 	cf := l.Model.Counterfactual(tr, spanSet(cands[0].spans))
+	cfCtr.Inc()
+	timer.Stop()
 	return l.result(tr, []string{cands[0].service}, false, cf.RootDurationMicros)
 }
 
