@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet verify bench bench-go obs-overhead
+.PHONY: build test race vet verify bench bench-go bench-compare alloc obs-overhead
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,19 @@ race:
 
 # verify is the pre-merge gate: static checks, a clean build, the full
 # suite under the race detector (the data-parallel trainer and the batched
-# inference paths are only trustworthy race-clean), and a smoke run of the
-# observability-overhead benchmark — the disabled-path numbers back the
-# "off by default costs nothing" claim.
-verify: vet build race obs-overhead
+# inference paths are only trustworthy race-clean), the allocation-
+# regression tests (which the race detector's instrumentation skips, so
+# they need a non-race pass), and a smoke run of the observability-overhead
+# benchmark — the disabled-path numbers back the "off by default costs
+# nothing" claim.
+verify: vet build race alloc obs-overhead
+
+# alloc runs the allocation-regression guards without the race detector:
+# the steady-state training step must allocate (essentially) nothing and
+# the per-trace predict cost must stay a small constant. These tests
+# auto-skip under -race, so `make race` alone would never exercise them.
+alloc:
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -34,6 +43,13 @@ bench:
 # inference batching, obs overhead).
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-compare re-measures the hot paths (training step, pairwise distance
+# matrix, batched inference) and prints ns/op, B/op and allocs/op deltas
+# against the committed baselines in $(BENCHOUT) — the regression gate for
+# the zero-allocation training work.
+bench-compare:
+	$(GO) run ./cmd/benchrunner -exp hot -baseline $(BENCHOUT)
 
 obs-overhead:
 	$(GO) test -bench=BenchmarkObsOverhead -benchtime=10000x -run=^$$ ./internal/obs

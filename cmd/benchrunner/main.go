@@ -1,5 +1,7 @@
 // Command benchrunner regenerates every table and figure of the paper's
-// evaluation section against the simulated substrate.
+// evaluation section against the simulated substrate, and measures the
+// pipeline's hot paths (training, pairwise distances, batched inference)
+// as repeatable micro-experiments.
 //
 // Usage:
 //
@@ -7,13 +9,22 @@
 //	benchrunner -exp table3 -full        # one experiment at paper-scale effort
 //	benchrunner -exp fig1,fig5 -seed 7
 //	benchrunner -exp all -benchout . -stamp 2026-08-06T00:00:00Z
+//	benchrunner -exp hot -benchout /tmp/now -baseline bench-records
+//	benchrunner -exp train -cpuprofile cpu.out -memprofile mem.out
 //
-// Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 ablation.
+// Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 instances
+// ablation, plus the hot-path trio train/pairwise/predict-batch ("hot"
+// selects all three).
 //
 // With -benchout, every experiment additionally writes a machine-readable
 // BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
 // -stamp) into the given directory, so the performance trajectory of the
-// pipeline accumulates across commits. `make bench` drives this.
+// pipeline accumulates across commits. `make bench` drives this. With
+// -baseline, each record is also diffed against the committed
+// BENCH_<name>.json in the given directory and the per-benchmark ns/op and
+// allocs/op deltas are printed (`make bench-compare`). -cpuprofile and
+// -memprofile write pprof profiles covering the selected experiments, so
+// kernel work is tuned from real profiles rather than guesswork.
 package main
 
 import (
@@ -23,9 +34,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	sleuth "github.com/sleuth-rca/sleuth"
+	"github.com/sleuth-rca/sleuth/internal/cluster"
 	"github.com/sleuth-rca/sleuth/internal/eval"
 	"github.com/sleuth-rca/sleuth/internal/obs"
 )
@@ -43,19 +57,63 @@ type benchResult struct {
 	Full        bool   `json:"full"`
 }
 
+// recordName maps an experiment name to its BENCH_<name>.json filename
+// component (dashes would be awkward in some downstream tooling).
+func recordName(op string) string { return strings.ReplaceAll(op, "-", "_") }
+
+// pctDelta returns the relative change from base to now in percent.
+func pctDelta(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (now - base) / base * 100
+}
+
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		full     = flag.Bool("full", false, "paper-scale effort (slow)")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		benchout = flag.String("benchout", "", "directory for BENCH_<name>.json records (empty = off)")
-		stamp    = flag.String("stamp", "", "timestamp recorded in BENCH_*.json (default: now, RFC 3339)")
-		metrics  = flag.Bool("metrics", false, "enable the obs registry and print its snapshot at exit")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments, 'all', or 'hot'")
+		full       = flag.Bool("full", false, "paper-scale effort (slow)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		benchout   = flag.String("benchout", "", "directory for BENCH_<name>.json records (empty = off)")
+		stamp      = flag.String("stamp", "", "timestamp recorded in BENCH_*.json (default: now, RFC 3339)")
+		metrics    = flag.Bool("metrics", false, "enable the obs registry and print its snapshot at exit")
+		baseline   = flag.String("baseline", "", "directory with baseline BENCH_<name>.json records to diff against")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit")
 	)
 	flag.Parse()
 
 	if *metrics {
 		obs.Enable()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: creating %s: %v\n", *cpuprofile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: creating %s: %v\n", *memprofile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: writing alloc profile: %v\n", err)
+			}
+		}()
 	}
 	if *stamp == "" {
 		*stamp = time.Now().UTC().Format(time.RFC3339)
@@ -73,14 +131,55 @@ func main() {
 	}
 
 	selected := map[string]bool{}
-	if *expFlag == "all" {
-		for _, e := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation"} {
+	for _, e := range strings.Split(*expFlag, ",") {
+		switch e = strings.TrimSpace(e); e {
+		case "all":
+			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch"} {
+				selected[x] = true
+			}
+		case "hot":
+			for _, x := range []string{"train", "pairwise", "predict-batch"} {
+				selected[x] = true
+			}
+		default:
 			selected[e] = true
 		}
-	} else {
-		for _, e := range strings.Split(*expFlag, ",") {
-			selected[strings.TrimSpace(e)] = true
+	}
+
+	// record persists one benchResult and, with -baseline, prints the
+	// per-benchmark ns/op and allocs/op deltas against the committed record.
+	record := func(res benchResult) {
+		if *baseline != "" {
+			path := filepath.Join(*baseline, "BENCH_"+recordName(res.Op)+".json")
+			if data, err := os.ReadFile(path); err == nil {
+				var base benchResult
+				if err := json.Unmarshal(data, &base); err == nil {
+					fmt.Printf("vs baseline (%s):\n", base.Timestamp)
+					fmt.Printf("  ns/op     %12d -> %12d  (%+.1f%%)\n",
+						base.NsPerOp, res.NsPerOp, pctDelta(float64(base.NsPerOp), float64(res.NsPerOp)))
+					fmt.Printf("  allocs/op %12d -> %12d  (%+.1f%%)\n",
+						base.AllocsPerOp, res.AllocsPerOp, pctDelta(float64(base.AllocsPerOp), float64(res.AllocsPerOp)))
+					fmt.Printf("  bytes/op  %12d -> %12d  (%+.1f%%)\n",
+						base.BytesPerOp, res.BytesPerOp, pctDelta(float64(base.BytesPerOp), float64(res.BytesPerOp)))
+				}
+			} else {
+				fmt.Printf("(no baseline record at %s)\n", path)
+			}
 		}
+		if *benchout == "" {
+			return
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: encoding %s record: %v\n", res.Op, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*benchout, "BENCH_"+recordName(res.Op)+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(record written to %s)\n", path)
 	}
 
 	run := func(name, title string, fn func() (string, error)) {
@@ -99,30 +198,55 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s in %s)\n", name, elapsed.Round(time.Millisecond))
-		if *benchout != "" {
-			var after runtime.MemStats
-			runtime.ReadMemStats(&after)
-			res := benchResult{
-				Op:          name,
-				NsPerOp:     elapsed.Nanoseconds(),
-				AllocsPerOp: after.Mallocs - before.Mallocs,
-				BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
-				Timestamp:   *stamp,
-				Seed:        *seed,
-				Full:        *full,
-			}
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: encoding %s record: %v\n", name, err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*benchout, "BENCH_"+name+".json")
-			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-			fmt.Printf("(record written to %s)\n", path)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		record(benchResult{
+			Op:          name,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+			Timestamp:   *stamp,
+			Seed:        *seed,
+			Full:        *full,
+		})
+	}
+
+	// runHot measures fn over iters iterations with setup excluded: a GC
+	// fence before the loop keeps leftover garbage from the setup phase out
+	// of the per-iteration numbers.
+	runHot := func(name, title string, iters int, setup func() (func(), error)) {
+		if !selected[name] {
+			return
 		}
+		fmt.Printf("\n=== %s — %s ===\n", strings.ToUpper(name), title)
+		fn, err := setup()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fn() // warm caches (embedder registry, lazy tensors) outside the window
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res := benchResult{
+			Op:          name,
+			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+			Timestamp:   *stamp,
+			Seed:        *seed,
+			Full:        *full,
+		}
+		fmt.Printf("%d iterations: %d ns/op, %d allocs/op, %d B/op\n",
+			iters, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		record(res)
 	}
 
 	run("table1", "benchmark specifications", func() (string, error) {
@@ -185,6 +309,49 @@ func main() {
 		}
 		return eval.RenderInstanceLevel(il), nil
 	})
+	// Hot-path micro-experiments: the three paths the training and
+	// clustering engines spend their time on, sized like the in-tree Go
+	// benchmarks so records are comparable across commits.
+	runHot("train", "data-parallel mini-batch training (64 traces, batch 32, 4 workers)", 3, func() (func(), error) {
+		app := sleuth.NewSyntheticApp(64, *seed)
+		world := sleuth.NewWorld(app, *seed)
+		traces, err := world.SimulateNormal(64)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
+			if _, err := sleuth.Train(traces, sleuth.TrainConfig{
+				Epochs: 1, BatchSize: 32, Workers: 4, Seed: *seed,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: train: %v\n", err)
+				os.Exit(1)
+			}
+		}, nil
+	})
+	runHot("pairwise", "pairwise weighted-Jaccard distance matrix (256 traces)", 10, func() (func(), error) {
+		app := sleuth.NewSyntheticApp(64, *seed)
+		world := sleuth.NewWorld(app, *seed)
+		traces, err := world.SimulateNormal(256)
+		if err != nil {
+			return nil, err
+		}
+		sets := cluster.TraceSets(traces, cluster.DefaultMaxAncestors)
+		return func() { _ = cluster.Pairwise(sets) }, nil
+	})
+	runHot("predict-batch", "batched inference (256 traces, GOMAXPROCS workers)", 5, func() (func(), error) {
+		app := sleuth.NewSyntheticApp(64, *seed)
+		world := sleuth.NewWorld(app, *seed)
+		traces, err := world.SimulateNormal(256)
+		if err != nil {
+			return nil, err
+		}
+		model, err := sleuth.Train(traces[:64], sleuth.TrainConfig{Epochs: 1, BatchSize: 32, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return func() { _, _ = model.PredictBatch(traces, 0) }, nil
+	})
+
 	run("ablation", "design-choice ablations", func() (string, error) {
 		var b strings.Builder
 		dmax, err := eval.AblationDmax(effort)

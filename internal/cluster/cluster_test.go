@@ -28,14 +28,16 @@ func TestTraceSetMergesSameIdentifier(t *testing.T) {
 		span("t", "a", "r", "redis", "GET", trace.KindClient, 100, 1100, false),
 		span("t", "b", "r", "redis", "GET", trace.KindClient, 2000, 3500, false),
 	)
-	s := TraceSet(tr, DefaultMaxAncestors)
+	in := NewInterner()
+	s := TraceSet(in, tr, DefaultMaxAncestors)
 	if s.Len() != 2 {
 		t.Fatalf("set size = %d, want 2 (merged GETs)", s.Len())
 	}
+	rootID := in.Intern(SpanIdentifier(tr, 0, DefaultMaxAncestors))
 	// Merged weight = (1000 + 1500)/1000 ms.
 	found := false
 	for i, id := range s.IDs {
-		if id != SpanIdentifier(tr, 0, DefaultMaxAncestors) {
+		if id != rootID {
 			found = true
 			if math.Abs(s.W[i]-2.5) > 1e-9 {
 				t.Fatalf("merged weight = %v, want 2.5", s.W[i])
@@ -98,11 +100,12 @@ func TestIdentifierIncludesCallPath(t *testing.T) {
 }
 
 func TestDistanceIdentityAndDisjoint(t *testing.T) {
-	a := SetFromMap(map[string]float64{"x": 2, "y": 3})
+	in := NewInterner()
+	a := SetFromMap(in, map[string]float64{"x": 2, "y": 3})
 	if d := Distance(a, a); d != 0 {
 		t.Fatalf("self distance = %v", d)
 	}
-	b := SetFromMap(map[string]float64{"z": 5})
+	b := SetFromMap(in, map[string]float64{"z": 5})
 	if d := Distance(a, b); d != 1 {
 		t.Fatalf("disjoint distance = %v", d)
 	}
@@ -111,10 +114,22 @@ func TestDistanceIdentityAndDisjoint(t *testing.T) {
 	}
 }
 
+func TestDistanceVocabularyMismatchPanics(t *testing.T) {
+	a := SetFromMap(NewInterner(), map[string]float64{"x": 2})
+	b := SetFromMap(NewInterner(), map[string]float64{"x": 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance across vocabularies did not panic")
+		}
+	}()
+	Distance(a, b)
+}
+
 func TestDistanceWorkedExample(t *testing.T) {
 	// A={x:2,y:3}, B={x:1,y:4}: min-sum=1+3=4, max-sum=2+4=6 → d = 1-4/6.
-	a := SetFromMap(map[string]float64{"x": 2, "y": 3})
-	b := SetFromMap(map[string]float64{"x": 1, "y": 4})
+	in := NewInterner()
+	a := SetFromMap(in, map[string]float64{"x": 2, "y": 3})
+	b := SetFromMap(in, map[string]float64{"x": 1, "y": 4})
 	want := 1 - 4.0/6.0
 	if d := Distance(a, b); math.Abs(d-want) > 1e-12 {
 		t.Fatalf("distance = %v, want %v", d, want)
@@ -124,22 +139,44 @@ func TestDistanceWorkedExample(t *testing.T) {
 func TestDistanceDurationSensitivity(t *testing.T) {
 	// Changing a heavy span's weight must move the distance more than the
 	// same relative change on a light span (Eq. 1 design goal).
-	base := SetFromMap(map[string]float64{"heavy": 100, "light": 1})
-	heavyUp := SetFromMap(map[string]float64{"heavy": 200, "light": 1})
-	lightUp := SetFromMap(map[string]float64{"heavy": 100, "light": 2})
+	in := NewInterner()
+	base := SetFromMap(in, map[string]float64{"heavy": 100, "light": 1})
+	heavyUp := SetFromMap(in, map[string]float64{"heavy": 200, "light": 1})
+	lightUp := SetFromMap(in, map[string]float64{"heavy": 100, "light": 2})
 	if Distance(base, heavyUp) <= Distance(base, lightUp) {
 		t.Fatal("distance not more sensitive to heavy spans")
 	}
 }
 
+func TestSetFromMapSortedByID(t *testing.T) {
+	// A pre-populated interner assigns IDs out of string order; the set must
+	// still come out ID-sorted with weights aligned.
+	in := NewInterner()
+	in.Intern("z") // 0
+	in.Intern("a") // 1
+	s := SetFromMap(in, map[string]float64{"a": 1, "m": 2, "z": 3})
+	for i := 1; i < len(s.IDs); i++ {
+		if s.IDs[i-1] >= s.IDs[i] {
+			t.Fatalf("IDs not sorted: %v", s.IDs)
+		}
+	}
+	byID := map[int32]float64{in.Intern("a"): 1, in.Intern("m"): 2, in.Intern("z"): 3}
+	for i, id := range s.IDs {
+		if s.W[i] != byID[id] {
+			t.Fatalf("weight for id %d = %v, want %v", id, s.W[i], byID[id])
+		}
+	}
+}
+
 func TestDistanceMetricProperties(t *testing.T) {
 	rng := xrand.New(1)
+	in := NewInterner()
 	randSet := func() WeightedSet {
 		m := map[string]float64{}
 		for i := 0; i < rng.IntRange(1, 8); i++ {
 			m[string(rune('a'+rng.Intn(10)))] = rng.Float64()*10 + 0.01
 		}
-		return SetFromMap(m)
+		return SetFromMap(in, m)
 	}
 	check := func(_ uint8) bool {
 		a, b, c := randSet(), randSet(), randSet()
@@ -322,13 +359,14 @@ func TestMedoids(t *testing.T) {
 
 func TestPairwiseMatchesSequential(t *testing.T) {
 	rng := xrand.New(7)
+	in := NewInterner()
 	var sets []WeightedSet
 	for i := 0; i < 20; i++ {
 		m := map[string]float64{}
 		for j := 0; j < 5; j++ {
 			m[string(rune('a'+rng.Intn(8)))] = rng.Float64() * 10
 		}
-		sets = append(sets, SetFromMap(m))
+		sets = append(sets, SetFromMap(in, m))
 	}
 	m := Pairwise(sets)
 	for i := 0; i < 20; i++ {
@@ -353,12 +391,13 @@ func TestSummary(t *testing.T) {
 
 func BenchmarkDistance100Spans(b *testing.B) {
 	rng := xrand.New(8)
+	in := NewInterner()
 	mk := func() WeightedSet {
 		m := map[string]float64{}
 		for i := 0; i < 100; i++ {
 			m[string(rune('a'+rng.Intn(60)))+string(rune('a'+i%26))] = rng.Float64() * 10
 		}
-		return SetFromMap(m)
+		return SetFromMap(in, m)
 	}
 	a, c := mk(), mk()
 	b.ResetTimer()

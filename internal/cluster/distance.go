@@ -21,28 +21,81 @@ import (
 // (§3.3.1): identifiers embed the call path up to this many ancestors.
 const DefaultMaxAncestors = 3
 
-// WeightedSet is the weighted span-set encoding of one trace: identifiers
-// with their total durations, stored sorted by identifier so that distance
-// computation is a deterministic two-pointer merge (map iteration order
-// would make the last-ulp float sums — and therefore clustering —
-// nondeterministic across runs).
-type WeightedSet struct {
-	IDs []string
-	W   []float64
+// Interner maps span-identifier strings to dense int32 IDs. One interner is
+// the shared vocabulary of a clustering run: every WeightedSet built against
+// it stores IDs instead of strings, so the Distance merge compares ints and
+// each identifier string is stored exactly once regardless of how many
+// traces contain it. IDs are assigned in first-intern order, so a fixed
+// trace order yields a fixed vocabulary. Safe for concurrent use.
+type Interner struct {
+	mu  sync.Mutex
+	ids map[string]int32
 }
 
-// SetFromMap builds a WeightedSet from an identifier → weight map.
-func SetFromMap(m map[string]float64) WeightedSet {
-	ids := make([]string, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
+// NewInterner creates an empty vocabulary.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID for s, assigning the next free ID on first sight.
+func (in *Interner) Intern(s string) int32 {
+	in.mu.Lock()
+	id, ok := in.ids[s]
+	if !ok {
+		id = int32(len(in.ids))
+		in.ids[s] = id
 	}
-	sort.Strings(ids)
-	w := make([]float64, len(ids))
-	for i, id := range ids {
-		w[i] = m[id]
+	in.mu.Unlock()
+	return id
+}
+
+// Size returns the number of distinct interned identifiers.
+func (in *Interner) Size() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.ids)
+}
+
+// WeightedSet is the weighted span-set encoding of one trace: interned
+// identifiers with their total durations, stored sorted by ID so that
+// distance computation is a deterministic two-pointer merge (map iteration
+// order would make the last-ulp float sums — and therefore clustering —
+// nondeterministic across runs). Sets are only comparable when built
+// against the same Interner; Distance enforces this.
+type WeightedSet struct {
+	IDs []int32
+	W   []float64
+
+	vocab *Interner
+}
+
+// SetFromMap builds a WeightedSet from an identifier → weight map, interning
+// identifiers into in. Map keys are interned in sorted-string order so a
+// fresh interner's ID assignment does not depend on map iteration order.
+func SetFromMap(in *Interner, m map[string]float64) WeightedSet {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return WeightedSet{IDs: ids, W: w}
+	sort.Strings(keys)
+	ids := make([]int32, len(keys))
+	for i, k := range keys {
+		ids[i] = in.Intern(k)
+	}
+	// With a pre-populated interner the sorted strings need not yield sorted
+	// IDs; order entries by ID for the merge invariant.
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ids[idx[a]] < ids[idx[b]] })
+	outIDs := make([]int32, len(keys))
+	w := make([]float64, len(keys))
+	for i, j := range idx {
+		outIDs[i] = ids[j]
+		w[i] = m[keys[j]]
+	}
+	return WeightedSet{IDs: outIDs, W: w, vocab: in}
 }
 
 // Len returns the number of distinct identifiers.
@@ -81,20 +134,30 @@ func SpanIdentifier(tr *trace.Trace, i, dmax int) string {
 	return b.String()
 }
 
-// TraceSet encodes a trace as a weighted span set. Spans sharing an
-// identifier merge with weights summed (§3.3.1). Durations are weighted in
-// milliseconds to keep masses in a numerically friendly range.
-func TraceSet(tr *trace.Trace, dmax int) WeightedSet {
-	m := make(map[string]float64, tr.Len())
+// TraceSet encodes a trace as a weighted span set over in's vocabulary.
+// Spans sharing an identifier merge with weights summed (§3.3.1). Durations
+// are weighted in milliseconds to keep masses in a numerically friendly
+// range.
+func TraceSet(in *Interner, tr *trace.Trace, dmax int) WeightedSet {
+	m := make(map[int32]float64, tr.Len())
 	for i, sp := range tr.Spans {
-		id := SpanIdentifier(tr, i, dmax)
+		id := in.Intern(SpanIdentifier(tr, i, dmax))
 		w := float64(sp.Duration()) / 1000.0
 		if w < 0.001 {
 			w = 0.001
 		}
 		m[id] += w
 	}
-	return SetFromMap(m)
+	ids := make([]int32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	w := make([]float64, len(ids))
+	for i, id := range ids {
+		w[i] = m[id]
+	}
+	return WeightedSet{IDs: ids, W: w, vocab: in}
 }
 
 // Distance computes the extended weighted Jaccard distance of Eq. 1:
@@ -103,8 +166,14 @@ func TraceSet(tr *trace.Trace, dmax int) WeightedSet {
 //
 // It is 0 for identical sets, 1 for disjoint sets, and more sensitive to
 // high-duration spans because they dominate both sums. Complexity is
-// O(|A| + |B|).
+// O(|A| + |B|), and the merge compares interned int32 IDs rather than
+// identifier strings. Both sets must come from the same Interner — IDs from
+// different vocabularies name different identifiers, so comparing them would
+// silently return garbage; Distance panics instead.
 func Distance(a, b WeightedSet) float64 {
+	if a.vocab != b.vocab && a.vocab != nil && b.vocab != nil {
+		panic("cluster: Distance across sets from different Interner vocabularies")
+	}
 	if a.Len() == 0 && b.Len() == 0 {
 		return 0
 	}
@@ -214,11 +283,14 @@ func Pairwise(sets []WeightedSet) *Matrix {
 	return m
 }
 
-// TraceSets encodes every trace with the given ancestor window.
+// TraceSets encodes every trace with the given ancestor window against one
+// shared vocabulary, built once for the batch. The serial loop fixes the
+// interning order, so the same trace slice always yields the same IDs.
 func TraceSets(traces []*trace.Trace, dmax int) []WeightedSet {
+	in := NewInterner()
 	out := make([]WeightedSet, len(traces))
 	for i, tr := range traces {
-		out[i] = TraceSet(tr, dmax)
+		out[i] = TraceSet(in, tr, dmax)
 	}
 	return out
 }

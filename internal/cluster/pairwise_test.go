@@ -11,6 +11,7 @@ import (
 // vocabularies, the shape Pairwise sees from one incident's traces.
 func randomSets(n int, seed uint64) []WeightedSet {
 	r := xrand.New(seed)
+	in := NewInterner()
 	sets := make([]WeightedSet, n)
 	for i := range sets {
 		m := map[string]float64{}
@@ -19,7 +20,7 @@ func randomSets(n int, seed uint64) []WeightedSet {
 			id := fmt.Sprintf("op-%d", r.Intn(40))
 			m[id] += 0.001 + r.Float64()*10
 		}
-		sets[i] = SetFromMap(m)
+		sets[i] = SetFromMap(in, m)
 	}
 	return sets
 }

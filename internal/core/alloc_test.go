@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/nn"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/tensor"
+)
+
+// These are the allocation-regression guards for the zero-allocation
+// training hot path: if a change re-introduces per-step heap traffic (a
+// closure capture, a variadic escape, a lost cache), these bounds fail long
+// before a benchmark run would notice.
+
+// TestTrainStepSteadyStateAllocs asserts that one steady-state training
+// step — zero grads, forward, backward, capture, arena reset — allocates
+// essentially nothing: the tape, all intermediates and all non-leaf
+// gradients recycle through the arena.
+func TestTrainStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	app := synth.Synthetic(16, 21)
+	traces := simTraces(t, app, 21, 8)
+	m := NewModel(smallConfig(21))
+	m.SetNormals(traces)
+	encs := m.encoder.EncodeAll(traces)
+	ps := m.Params()
+	buf := nn.NewGradBuffer(m)
+	ar := tensor.NewArena()
+	i := 0
+	step := func() {
+		nn.ZeroGradsOf(ps)
+		loss := m.lossOn(encs[i%len(encs)], ar)
+		loss.Backward()
+		buf.CaptureParams(ps)
+		_ = loss.Item()
+		ar.Reset()
+		i++
+	}
+	// Warm-up: touch every encoding so the per-trace tensor/graph caches and
+	// the arena chunks exist before measuring.
+	for j := 0; j < len(encs)+1; j++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg > 2 {
+		t.Fatalf("steady-state train step allocates %.1f times per run, want <= 2", avg)
+	}
+}
+
+// TestPredictSteadyStateAllocs bounds the per-trace allocation count of the
+// PredictBatch hot path. predictOn re-encodes the trace and copies the two
+// result rows out, so the bound is a small constant independent of span
+// count — not zero, but nowhere near the per-op tape allocations the arena
+// eliminated.
+func TestPredictSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	app := synth.Synthetic(16, 22)
+	traces := simTraces(t, app, 22, 4)
+	m := NewModel(smallConfig(22))
+	m.SetNormals(traces)
+	ar := tensor.NewArena()
+	i := 0
+	step := func() {
+		_, _ = m.predictOn(traces[i%len(traces)], ar)
+		ar.Reset()
+		i++
+	}
+	for j := 0; j < len(traces)+1; j++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg > 32 {
+		t.Fatalf("steady-state predict allocates %.1f times per run, want <= 32", avg)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"github.com/sleuth-rca/sleuth/internal/features"
-	"github.com/sleuth-rca/sleuth/internal/gnn"
 	"github.com/sleuth-rca/sleuth/internal/tensor"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
@@ -49,7 +48,7 @@ func (m *Model) Counterfactual(tr *trace.Trace, restored map[int]bool) Counterfa
 		}
 	}
 
-	g := gnn.NewGraph(enc.Parents)
+	g := enc.Graph()
 	h := m.agg.Forward(g, xStar, x) // [n, headDim]
 
 	// Bottom-up ancestral recomputation, deepest spans first.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"github.com/sleuth-rca/sleuth/internal/features"
@@ -177,7 +178,7 @@ type prediction struct {
 // supplies modified X/XStar matrices (counterfactual queries); otherwise
 // the encoded observation is used.
 func (m *Model) forward(enc *features.Encoded, x, xStar *tensor.Tensor) prediction {
-	g := gnn.NewGraph(enc.Parents)
+	g := enc.Graph()
 	h := m.agg.Forward(g, xStar, x) // [n, headDim]
 
 	dScaled := tensor.SliceCols(x, 0, 1) // observed scaled durations
@@ -213,7 +214,7 @@ func (m *Model) forward(enc *features.Encoded, x, xStar *tensor.Tensor) predicti
 	}
 	// Sum contributions over each sibling group, then route to parents.
 	groupSum := tensor.SegmentSum(contrib, g.Groups(), g.NumGroups())
-	childSum := gnn.GatherWithFallback(groupSum, g.ChildGroupIndex(), 0)
+	childSum := g.GatherChildGroups(groupSum, 0)
 	dStarPrime := tensor.Pow10(tensor.AddScalar(dStarScaled, features.DurLogMean))
 	dHatPrime := tensor.Add(childSum, dStarPrime)
 	dHatScaled := tensor.AddScalar(tensor.Log10(dHatPrime), -features.DurLogMean)
@@ -226,20 +227,31 @@ func (m *Model) forward(enc *features.Encoded, x, xStar *tensor.Tensor) predicti
 	durInduced := tensor.Sigmoid(tensor.Add(tensor.Mul(h3, dScaled), h4))
 	childTerm := tensor.Max2(propagated, durInduced)
 	groupMax := tensor.SegmentMax(childTerm, g.Groups(), g.NumGroups(), 0)
-	childMax := gnn.GatherWithFallback(groupMax, g.ChildGroupIndex(), 0)
+	childMax := g.GatherChildGroups(groupMax, 0)
 	eHat := tensor.Max2(childMax, eStar)
 
 	return prediction{durScaled: dHatScaled, errProb: eHat}
 }
 
-// tensors materialises the encoded features as input tensors.
-func tensors(enc *features.Encoded) (x, xStar *tensor.Tensor) {
-	return tensor.FromRows(enc.X), tensor.FromRows(enc.XStar)
+// inputs returns the trace's cached feature tensors, re-rooted into ar when
+// an arena is installed. The arena views carry no history and no gradient
+// requirement; their only job is to make every downstream op draw its
+// allocations from ar (results inherit the arena of their parents).
+func inputs(enc *features.Encoded, ar *tensor.Arena) (x, xStar *tensor.Tensor) {
+	x, xStar = enc.Tensors()
+	if ar != nil {
+		x, xStar = ar.View(x), ar.View(xStar)
+	}
+	return x, xStar
 }
 
 // Loss computes the Eq. 5 objective for one trace.
-func (m *Model) Loss(enc *features.Encoded) *tensor.Tensor {
-	x, xStar := tensors(enc)
+func (m *Model) Loss(enc *features.Encoded) *tensor.Tensor { return m.lossOn(enc, nil) }
+
+// lossOn is Loss with the whole tape drawn from ar (nil = heap). Callers
+// owning an arena must copy the loss value out (Item) before Reset.
+func (m *Model) lossOn(enc *features.Encoded, ar *tensor.Arena) *tensor.Tensor {
+	x, xStar := inputs(enc, ar)
 	pred := m.forward(enc, x, xStar)
 	dTarget := tensor.SliceCols(x, 0, 1)
 	eTarget := tensor.SliceCols(x, 1, 2)
@@ -249,8 +261,15 @@ func (m *Model) Loss(enc *features.Encoded) *tensor.Tensor {
 // Predict runs the model on a trace and returns the predicted scaled
 // duration and error probability per span.
 func (m *Model) Predict(tr *trace.Trace) (durScaled, errProb []float64) {
+	return m.predictOn(tr, nil)
+}
+
+// predictOn is Predict over an optional arena: the forward tape recycles
+// through ar while the returned slices are fresh heap copies, so callers
+// may Reset immediately after.
+func (m *Model) predictOn(tr *trace.Trace, ar *tensor.Arena) (durScaled, errProb []float64) {
 	enc := m.Encode(tr)
-	x, xStar := tensors(enc)
+	x, xStar := inputs(enc, ar)
 	pred := m.forward(enc, x, xStar)
 	return append([]float64(nil), pred.durScaled.Data...),
 		append([]float64(nil), pred.errProb.Data...)
@@ -267,28 +286,52 @@ func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, err
 	obs.C("core.predict.traces").Add(int64(len(traces)))
 	durScaled = make([][]float64, len(traces))
 	errProb = make([][]float64, len(traces))
-	parallelFor(len(traces), workers, func(i int) {
+	workers = resolveWorkers(len(traces), workers)
+	arenas := newArenas(workers)
+	parallelFor(len(traces), workers, func(w, i int) {
 		t := perTrace.Start()
-		durScaled[i], errProb[i] = m.Predict(traces[i])
+		ar := arenas[w]
+		durScaled[i], errProb[i] = m.predictOn(traces[i], ar)
+		ar.Reset()
 		t.Stop()
 	})
 	batchTimer.Stop()
 	return durScaled, errProb
 }
 
-// parallelFor runs fn(i) for every i in [0, n) across up to workers
-// goroutines (workers ≤ 0 → GOMAXPROCS). Indexes are strided across workers
-// so uneven per-item costs spread evenly.
-func parallelFor(n, workers int, fn func(i int)) {
+// resolveWorkers normalises a worker-count option: ≤ 0 selects GOMAXPROCS,
+// capped at n (one item per worker at most).
+func resolveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// newArenas builds one tape arena per worker goroutine.
+func newArenas(workers int) []*tensor.Arena {
+	arenas := make([]*tensor.Arena, workers)
+	for w := range arenas {
+		arenas[w] = tensor.NewArena()
+	}
+	return arenas
+}
+
+// parallelFor runs fn(w, i) for every i in [0, n) across the given number
+// of worker goroutines (pre-resolved via resolveWorkers). Indexes are
+// strided across workers so uneven per-item costs spread evenly; w is the
+// stable worker index, letting callers hand each goroutine private scratch
+// (arenas, buffers).
+func parallelFor(n, workers int, fn func(w, i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -298,7 +341,7 @@ func parallelFor(n, workers int, fn func(i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				fn(i)
+				fn(w, i)
 			}
 		}(w)
 	}
@@ -417,9 +460,12 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 		workers = batchSize
 	}
 	replicas := make([]*Model, workers)
+	replicaParams := make([][]nn.Param, workers)
 	for w := range replicas {
 		replicas[w] = m.replica()
+		replicaParams[w] = replicas[w].Params()
 	}
+	arenas := newArenas(workers)
 	buffers := make([]*nn.GradBuffer, batchSize)
 	for i := range buffers {
 		buffers[i] = nn.NewGradBuffer(m)
@@ -445,12 +491,19 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 				go func(w int) {
 					defer wg.Done()
 					rep := replicas[w]
+					ps := replicaParams[w]
+					ar := arenas[w]
 					for bi := w; bi < len(batch); bi += workers {
-						nn.ZeroGrads(rep)
-						loss := rep.Loss(encs[batch[bi]])
+						nn.ZeroGradsOf(ps)
+						loss := rep.lossOn(encs[batch[bi]], ar)
 						loss.Backward()
-						buffers[bi].Capture(rep)
+						buffers[bi].CaptureParams(ps)
 						losses[bi] = loss.Item()
+						// Everything the tape allocated for this sample —
+						// intermediates, gradients of non-leaves, the loss
+						// itself — is recycled here. Leaf (parameter)
+						// gradients live on the heap and were captured above.
+						ar.Reset()
 					}
 				}(w)
 			}
@@ -504,36 +557,85 @@ func (m *Model) FineTune(traces []*trace.Trace, opts TrainOptions) (TrainStats, 
 	return m.Train(traces, opts)
 }
 
+// opRef identifies a span operation without building its OpKey string —
+// SetNormals groups by field comparison and only materialises the key
+// string once per distinct operation.
+type opRef struct {
+	service, name string
+	kind          trace.Kind
+}
+
+func (a opRef) less(b opRef) bool {
+	if a.service != b.service {
+		return a.service < b.service
+	}
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	return a.kind < b.kind
+}
+
 // SetNormals (re)computes per-operation normal-state statistics from
 // fault-free traces. Zero-shot transfer calls this with target-application
 // traces without touching the weights.
+//
+// The computation is sort-and-scan over flat arrays rather than maps of
+// growing slices: one sample record per span, sorted by operation, with
+// medians taken over in-place-sorted runs. Allocation is O(distinct ops),
+// not O(spans) — SetNormals runs on every Train call, so it shares the hot
+// path's allocation budget.
 func (m *Model) SetNormals(traces []*trace.Trace) {
-	durs := make(map[string][]float64)
-	excl := make(map[string][]float64)
-	var allDur, allExcl []float64
+	total := 0
 	for _, tr := range traces {
-		for i, s := range tr.Spans {
-			k := s.OpKey()
-			d := float64(s.Duration())
-			e := float64(tr.ExclusiveDuration(i))
-			durs[k] = append(durs[k], d)
-			excl[k] = append(excl[k], e)
-			allDur = append(allDur, d)
-			allExcl = append(allExcl, e)
+		total += len(tr.Spans)
+	}
+	refs := make([]opRef, total)
+	durs := make([]float64, total)
+	excls := make([]float64, total)
+	order := make([]int, total)
+	i := 0
+	for _, tr := range traces {
+		for si, s := range tr.Spans {
+			refs[i] = opRef{service: s.Service, name: s.Name, kind: s.Kind}
+			durs[i] = float64(s.Duration())
+			excls[i] = float64(tr.ExclusiveDuration(si))
+			order[i] = i
+			i++
 		}
 	}
-	m.normals = make(map[string]NormalStats, len(durs))
-	for k, ds := range durs {
-		m.normals[k] = NormalStats{
-			MedianDuration:          stats.Percentile(ds, 50),
-			MedianExclusiveDuration: stats.Percentile(excl[k], 50),
-			Count:                   len(ds),
-		}
+	sort.Slice(order, func(a, b int) bool { return refs[order[a]].less(refs[order[b]]) })
+	// Permute samples into operation-contiguous runs so each run can be
+	// median'd by sorting in place.
+	pd := make([]float64, total)
+	pe := make([]float64, total)
+	for j, src := range order {
+		pd[j] = durs[src]
+		pe[j] = excls[src]
 	}
+	m.normals = make(map[string]NormalStats)
+	for start := 0; start < total; {
+		end := start + 1
+		ref := refs[order[start]]
+		for end < total && refs[order[end]] == ref {
+			end++
+		}
+		rd, re := pd[start:end], pe[start:end]
+		sort.Float64s(rd)
+		sort.Float64s(re)
+		key := ref.service + "\x1f" + ref.name + "\x1f" + string(ref.kind)
+		m.normals[key] = NormalStats{
+			MedianDuration:          stats.PercentileSorted(rd, 50),
+			MedianExclusiveDuration: stats.PercentileSorted(re, 50),
+			Count:                   end - start,
+		}
+		start = end
+	}
+	sort.Float64s(durs)
+	sort.Float64s(excls)
 	m.globalNormal = NormalStats{
-		MedianDuration:          stats.Percentile(allDur, 50),
-		MedianExclusiveDuration: stats.Percentile(allExcl, 50),
-		Count:                   len(allDur),
+		MedianDuration:          stats.PercentileSorted(durs, 50),
+		MedianExclusiveDuration: stats.PercentileSorted(excls, 50),
+		Count:                   total,
 	}
 }
 
@@ -573,8 +675,12 @@ func (m *Model) MeanLoss(traces []*trace.Trace) float64 {
 		return 0
 	}
 	losses := make([]float64, len(traces))
-	parallelFor(len(traces), 0, func(i int) {
-		losses[i] = m.Loss(m.Encode(traces[i])).Item()
+	workers := resolveWorkers(len(traces), 0)
+	arenas := newArenas(workers)
+	parallelFor(len(traces), workers, func(w, i int) {
+		ar := arenas[w]
+		losses[i] = m.lossOn(m.Encode(traces[i]), ar).Item()
+		ar.Reset()
 	})
 	total := 0.0
 	for _, l := range losses {

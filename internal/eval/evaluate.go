@@ -101,9 +101,10 @@ func ClusteredEvaluate(algo rca.Algorithm, ds *Dataset, opts cluster.Options, me
 				}
 			}
 		} else {
+			vocab := cluster.NewInterner()
 			sets := make([]cluster.WeightedSet, len(idx))
 			for a, qi := range idx {
-				sets[a] = cluster.TraceSet(ds.Queries[qi].Trace, cluster.DefaultMaxAncestors)
+				sets[a] = cluster.TraceSet(vocab, ds.Queries[qi].Trace, cluster.DefaultMaxAncestors)
 			}
 			m = cluster.Pairwise(sets)
 		}

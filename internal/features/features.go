@@ -18,6 +18,8 @@ import (
 	"sync"
 	"unicode"
 
+	"github.com/sleuth-rca/sleuth/internal/gnn"
+	"github.com/sleuth-rca/sleuth/internal/tensor"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
@@ -96,6 +98,17 @@ type Embedder struct {
 
 	mu       sync.RWMutex
 	registry map[string][]float64
+	// spanCache maps (service, name, kind) directly to the embedding of the
+	// span's composed text, so the per-span hot path (EmbedSpan) skips both
+	// the string concatenation and the normalisation once an operation has
+	// been seen.
+	spanCache map[spanKey][]float64
+}
+
+// spanKey identifies a span operation without building the composed text.
+type spanKey struct {
+	service, name string
+	kind          trace.Kind
 }
 
 // DefaultEmbeddingDim is the embedding width used by the shipped models.
@@ -109,7 +122,11 @@ func NewEmbedder(dim int) *Embedder {
 	if dim <= 0 {
 		panic("features: embedding dim must be positive")
 	}
-	return &Embedder{dim: dim, registry: make(map[string][]float64)}
+	return &Embedder{
+		dim:       dim,
+		registry:  make(map[string][]float64),
+		spanCache: make(map[spanKey][]float64),
+	}
 }
 
 // Dim returns the embedding width.
@@ -138,6 +155,25 @@ func (e *Embedder) Embed(text string) []float64 {
 	} else {
 		e.registry[text] = v
 	}
+	e.mu.Unlock()
+	return v
+}
+
+// EmbedSpan returns the embedding of a span's composed text (service, name,
+// kind — see spanText). Cache hits allocate nothing: the struct key avoids
+// the concatenation Embed's string key would force on every span. The
+// returned slice is shared and must not be modified.
+func (e *Embedder) EmbedSpan(s *trace.Span) []float64 {
+	k := spanKey{service: s.Service, name: s.Name, kind: s.Kind}
+	e.mu.RLock()
+	v, ok := e.spanCache[k]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = e.Embed(spanText(s))
+	e.mu.Lock()
+	e.spanCache[k] = v
 	e.mu.Unlock()
 	return v
 }
@@ -199,10 +235,47 @@ func Cosine(a, b []float64) float64 {
 type Encoded struct {
 	Trace   *trace.Trace
 	Parents []int
-	// X rows: [scaledDuration, error, embedding...]
+	// X rows: [scaledDuration, error, embedding...]. All rows are
+	// subslices of one backing array (see Encode), so materialising the
+	// matrix as a tensor is a zero-copy wrap.
 	X [][]float64
 	// XStar rows: [scaledExclusiveDuration, exclusiveError, embedding...]
 	XStar [][]float64
+
+	// xFlat/xsFlat are the contiguous backings of X/XStar.
+	xFlat, xsFlat []float64
+
+	// Tensor views over the backings, built once on first use. Encodings
+	// are immutable after Encode, so the views are shared by every training
+	// epoch and scoring pass over this trace.
+	tensorsOnce sync.Once
+	xT, xsT     *tensor.Tensor
+
+	// Graph structure derived from Parents, built once on first use — the
+	// sibling groups and gather indexes are per-trace constants.
+	graphOnce sync.Once
+	graph     *gnn.Graph
+}
+
+// Graph returns the cached gnn.Graph over the trace's parent pointers. The
+// graph's derived indexes (sibling groups, parent-gather arrays, group
+// counts) are computed once and shared across every epoch and scoring pass.
+func (e *Encoded) Graph() *gnn.Graph {
+	e.graphOnce.Do(func() { e.graph = gnn.NewGraph(e.Parents) })
+	return e.graph
+}
+
+// Tensors returns cached [n, dim] tensor views of X and XStar, wrapping the
+// contiguous encoding without copying. The tensors are shared and must be
+// treated as read-only; counterfactual queries that mutate features must
+// copy (tensor.FromRows) instead.
+func (e *Encoded) Tensors() (x, xStar *tensor.Tensor) {
+	e.tensorsOnce.Do(func() {
+		n := len(e.X)
+		e.xT = tensor.New(e.xFlat, n, len(e.xFlat)/n)
+		e.xsT = tensor.New(e.xsFlat, n, len(e.xsFlat)/n)
+	})
+	return e.xT, e.xsT
 }
 
 // NodeDim returns the width of the X rows.
@@ -227,19 +300,24 @@ func spanText(s *trace.Span) string {
 	return s.Service + " " + s.Name + " " + string(s.Kind)
 }
 
-// Encode produces the feature encoding of tr.
+// Encode produces the feature encoding of tr. Rows of X and XStar are
+// carved from two contiguous backing arrays — six allocations per trace
+// regardless of span count, and a layout Tensors can wrap without copying.
 func (enc *Encoder) Encode(tr *trace.Trace) *Encoded {
 	n := tr.Len()
+	dim := 2 + enc.Emb.Dim()
 	e := &Encoded{
 		Trace:   tr,
 		Parents: make([]int, n),
 		X:       make([][]float64, n),
 		XStar:   make([][]float64, n),
+		xFlat:   make([]float64, n*dim),
+		xsFlat:  make([]float64, n*dim),
 	}
 	for i, s := range tr.Spans {
 		e.Parents[i] = tr.Parent(i)
-		emb := enc.Emb.Embed(spanText(s))
-		x := make([]float64, 2+len(emb))
+		emb := enc.Emb.EmbedSpan(s)
+		x := e.xFlat[i*dim : (i+1)*dim : (i+1)*dim]
 		x[0] = ScaleDuration(s.Duration())
 		if s.Error {
 			x[1] = 1
@@ -247,7 +325,7 @@ func (enc *Encoder) Encode(tr *trace.Trace) *Encoded {
 		copy(x[2:], emb)
 		e.X[i] = x
 
-		xs := make([]float64, 2+len(emb))
+		xs := e.xsFlat[i*dim : (i+1)*dim : (i+1)*dim]
 		xs[0] = ScaleDuration(tr.ExclusiveDuration(i))
 		if tr.ExclusiveError(i) {
 			xs[1] = 1

@@ -28,26 +28,71 @@ type Graph struct {
 	// groupParent[g] is the parent node of group g, or -1 for the root group.
 	groupParent []int
 	nGroups     int
+
+	// Derived index caches. Traces are immutable once assembled, so every
+	// per-step consumer (sibling convolutions, the aggregation layer's
+	// child-group gathers) reads these precomputed arrays instead of
+	// rebuilding maps on each forward pass. All are populated by NewGraph.
+	groupCount []int // nodes per group
+	childGroup []int // per node: group ID of its children, -1 for leaves
+	// parentIdx is the gather index for ParentFeatures: node's parent row,
+	// with roots mapped to the sentinel row appended at index n.
+	parentIdx []int
+	// childGatherIdx is childGroup with leaves mapped to the sentinel row
+	// at index nGroups, ready for GatherChildGroups.
+	childGatherIdx []int
 }
 
-// NewGraph builds a Graph from parent pointers. It panics on out-of-range
-// parents (cycle detection belongs to trace assembly, which runs first).
+// NewGraph builds a Graph from parent pointers and precomputes every
+// derived index the convolutions need. It panics on out-of-range parents
+// (cycle detection belongs to trace assembly, which runs first).
 func NewGraph(parent []int) *Graph {
+	n := len(parent)
 	g := &Graph{Parent: append([]int(nil), parent...)}
-	g.group = make([]int, len(parent))
-	idByParent := make(map[int]int)
+	g.group = make([]int, n)
+	// gidOf[p+1] is the group ID assigned to children of parent p (index 0
+	// is the root group, keyed by parent -1) — a dense slice where the old
+	// implementation paid for a map.
+	gidOf := make([]int, n+1)
+	for i := range gidOf {
+		gidOf[i] = -1
+	}
 	for i, p := range parent {
-		if p < -1 || p >= len(parent) {
+		if p < -1 || p >= n {
 			panic("gnn: parent index out of range")
 		}
-		gid, ok := idByParent[p]
-		if !ok {
+		gid := gidOf[p+1]
+		if gid < 0 {
 			gid = g.nGroups
 			g.nGroups++
-			idByParent[p] = gid
+			gidOf[p+1] = gid
 			g.groupParent = append(g.groupParent, p)
 		}
 		g.group[i] = gid
+	}
+	g.groupCount = make([]int, g.nGroups)
+	for _, gid := range g.group {
+		g.groupCount[gid]++
+	}
+	g.childGroup = make([]int, n)
+	g.childGatherIdx = make([]int, n)
+	for i := range g.childGroup {
+		g.childGroup[i] = -1
+		g.childGatherIdx[i] = g.nGroups
+	}
+	for gid, p := range g.groupParent {
+		if p >= 0 {
+			g.childGroup[p] = gid
+			g.childGatherIdx[p] = gid
+		}
+	}
+	g.parentIdx = make([]int, n)
+	for i, p := range parent {
+		if p < 0 {
+			g.parentIdx[i] = n
+		} else {
+			g.parentIdx[i] = p
+		}
 	}
 	return g
 }
@@ -72,32 +117,17 @@ func (g *Graph) SiblingSum(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.Sub(perNode, x)
 }
 
-// GroupCount returns the number of nodes in each group.
-func (g *Graph) GroupCount() []int {
-	counts := make([]int, g.nGroups)
-	for _, gid := range g.group {
-		counts[gid]++
-	}
-	return counts
-}
+// GroupCount returns the number of nodes in each group. The slice is the
+// graph's cached copy — callers must not mutate it.
+func (g *Graph) GroupCount() []int { return g.groupCount }
 
 // ParentFeatures returns, for every node j, the feature row of j's parent,
-// with zeros for roots. Gradients flow back to the parent rows.
+// with zeros for roots. Gradients flow back to the parent rows. The gather
+// index is precomputed and the sentinel zero row draws from x's arena.
 func (g *Graph) ParentFeatures(x *tensor.Tensor) *tensor.Tensor {
-	// Gather with a sentinel row: append a zero row at index n and map
-	// root parents to it.
-	n := g.N()
-	zero := tensor.Zeros(1, x.Cols())
+	zero := tensor.NewIn(tensor.ArenaOf(x), 1, x.Cols())
 	padded := concatRows(x, zero)
-	idx := make([]int, n)
-	for i, p := range g.Parent {
-		if p < 0 {
-			idx[i] = n
-		} else {
-			idx[i] = p
-		}
-	}
-	return tensor.IndexRows(padded, idx)
+	return tensor.IndexRows(padded, g.parentIdx)
 }
 
 // concatRows stacks two matrices with equal column counts vertically,
@@ -109,18 +139,18 @@ func concatRows(a, b *tensor.Tensor) *tensor.Tensor {
 // ChildGroupIndex returns, for every node i, the ID of the sibling group
 // containing i's children, or -1 when i is a leaf. This is the inverse of
 // GroupParent and lets per-group aggregates (sums or maxima over children)
-// be routed back to the parent node they describe.
-func (g *Graph) ChildGroupIndex() []int {
-	out := make([]int, g.N())
-	for i := range out {
-		out[i] = -1
-	}
-	for gid, p := range g.groupParent {
-		if p >= 0 {
-			out[p] = gid
-		}
-	}
-	return out
+// be routed back to the parent node they describe. The slice is the
+// graph's cached copy — callers must not mutate it.
+func (g *Graph) ChildGroupIndex() []int { return g.childGroup }
+
+// GatherChildGroups gathers per-group rows of vals (shape [NumGroups, d])
+// back to the parent node of each group, substituting a constant fallback
+// row for leaves. It is GatherWithFallback over ChildGroupIndex with the
+// mapped index precomputed — the zero-allocation path of the aggregation
+// layer's per-step gathers.
+func (g *Graph) GatherChildGroups(vals *tensor.Tensor, fallback float64) *tensor.Tensor {
+	padded := concatRows(vals, tensor.FullIn(tensor.ArenaOf(vals), fallback, 1, vals.Cols()))
+	return tensor.IndexRows(padded, g.childGatherIdx)
 }
 
 // GatherWithFallback gathers rows of vals by idx, substituting a constant
@@ -128,8 +158,14 @@ func (g *Graph) ChildGroupIndex() []int {
 // rows only.
 func GatherWithFallback(vals *tensor.Tensor, idx []int, fallback float64) *tensor.Tensor {
 	n := vals.Rows()
-	padded := concatRows(vals, tensor.Full(fallback, 1, vals.Cols()))
-	mapped := make([]int, len(idx))
+	ar := tensor.ArenaOf(vals)
+	padded := concatRows(vals, tensor.FullIn(ar, fallback, 1, vals.Cols()))
+	var mapped []int
+	if ar != nil {
+		mapped = ar.Ints(len(idx))
+	} else {
+		mapped = make([]int, len(idx))
+	}
 	for i, v := range idx {
 		if v < 0 {
 			mapped[i] = n
@@ -173,8 +209,10 @@ func (c *GINSiblingConv) Forward(g *Graph, xStar, x *tensor.Tensor) *tensor.Tens
 	}
 	obs.C("gnn.forwards").Inc()
 	obs.C("gnn.forward_nodes").Add(int64(g.N()))
-	parentX := g.ParentFeatures(xStar)                    // [n, parentDim]
-	selfTerm := tensor.Mul(x, tensor.AddScalar(c.Eps, 1)) // (1+ε)·x_j
+	parentX := g.ParentFeatures(xStar) // [n, parentDim]
+	// (1+ε)·x_j — ε is a heap parameter, so the intermediate is placed on
+	// x's arena explicitly; inheriting would leave a per-step heap op.
+	selfTerm := tensor.Mul(x, tensor.AddScalarIn(tensor.ArenaOf(x), c.Eps, 1))
 	agg := tensor.Add(selfTerm, g.SiblingSum(x))          // + Σ siblings
 	return c.MLP.Forward(tensor.ConcatCols(parentX, agg)) // f_Θ[· ∥ ·]
 }
@@ -216,9 +254,9 @@ func (c *GCNSiblingConv) Forward(g *Graph, xStar, x *tensor.Tensor) *tensor.Tens
 	obs.C("gnn.forwards").Inc()
 	obs.C("gnn.forward_nodes").Add(int64(g.N()))
 	mean := c.groupMean(g, x)
-	h := tensor.ReLU(c.L1.Forward(tensor.ConcatCols(g.ParentFeatures(xStar), mean)))
+	h := c.L1.ForwardReLU(tensor.ConcatCols(g.ParentFeatures(xStar), mean))
 	// Second aggregation round over the same sibling structure.
-	h = tensor.ReLU(c.L2.Forward(c.groupMean(g, h)))
+	h = c.L2.ForwardReLU(c.groupMean(g, h))
 	return c.Out.Forward(h)
 }
 
@@ -226,15 +264,16 @@ func (c *GCNSiblingConv) Forward(g *Graph, xStar, x *tensor.Tensor) *tensor.Tens
 // (self included), the D⁻¹A aggregation of a vanilla GCN on the sibling
 // clique.
 func (c *GCNSiblingConv) groupMean(g *Graph, x *tensor.Tensor) *tensor.Tensor {
+	ar := tensor.ArenaOf(x)
 	sum := tensor.SegmentSum(x, g.Groups(), g.NumGroups())
 	counts := g.GroupCount()
-	inv := tensor.Zeros(g.NumGroups(), 1)
+	inv := tensor.NewIn(ar, g.NumGroups(), 1)
 	for i, c := range counts {
 		if c > 0 {
 			inv.Data[i] = 1 / float64(c)
 		}
 	}
-	scaled := tensor.Mul(sum, tensor.MatMul(inv, tensor.Full(1, 1, x.Cols())))
+	scaled := tensor.Mul(sum, tensor.MatMul(inv, tensor.FullIn(ar, 1, 1, x.Cols())))
 	return tensor.IndexRows(scaled, g.Groups())
 }
 

@@ -16,6 +16,9 @@ import "fmt"
 
 // GradBuffer is a detached copy of a module's parameter gradients, laid out
 // in Params() order. Buffers are reusable across steps: Capture overwrites.
+// All per-parameter views share one backing slab, so a buffer costs two
+// allocations regardless of parameter count and reductions stream through
+// contiguous memory.
 type GradBuffer struct {
 	bufs [][]float64
 }
@@ -23,9 +26,17 @@ type GradBuffer struct {
 // NewGradBuffer allocates a buffer shaped like m's parameters.
 func NewGradBuffer(m Module) *GradBuffer {
 	ps := m.Params()
+	total := 0
+	for _, p := range ps {
+		total += p.T.Numel()
+	}
+	slab := make([]float64, total)
 	b := &GradBuffer{bufs: make([][]float64, len(ps))}
+	off := 0
 	for i, p := range ps {
-		b.bufs[i] = make([]float64, p.T.Numel())
+		n := p.T.Numel()
+		b.bufs[i] = slab[off : off+n : off+n]
+		off += n
 	}
 	return b
 }
@@ -34,8 +45,11 @@ func NewGradBuffer(m Module) *GradBuffer {
 // overwriting previous contents. Parameters whose gradient was never
 // allocated capture as zero. The module's gradients are left untouched;
 // pair with ZeroGrads before the next backward pass.
-func (b *GradBuffer) Capture(m Module) {
-	ps := m.Params()
+func (b *GradBuffer) Capture(m Module) { b.CaptureParams(m.Params()) }
+
+// CaptureParams is Capture over a pre-fetched parameter list — worker loops
+// cache Params() once and avoid rebuilding the slice every sample.
+func (b *GradBuffer) CaptureParams(ps []Param) {
 	if len(ps) != len(b.bufs) {
 		panic("nn: GradBuffer.Capture parameter count mismatch")
 	}
@@ -114,3 +128,7 @@ func AliasParams(dst, src Module) error {
 // ZeroGrads clears every parameter gradient of m. Exported for worker loops
 // that capture gradients between backward passes without an optimizer.
 func ZeroGrads(m Module) { zeroGrads(m.Params()) }
+
+// ZeroGradsOf clears gradients over a pre-fetched parameter list (the
+// per-sample companion of CaptureParams).
+func ZeroGradsOf(ps []Param) { zeroGrads(ps) }

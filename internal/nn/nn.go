@@ -7,6 +7,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 
 	"github.com/sleuth-rca/sleuth/internal/tensor"
@@ -58,9 +59,15 @@ func NewLinear(name string, in, out int, rng *xrand.Rand) *Linear {
 	}
 }
 
-// Forward applies the layer to x of shape [m, in].
+// Forward applies the layer to x of shape [m, in] as a single fused
+// AddMM tape node (matmul + bias broadcast).
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.Add(tensor.MatMul(x, l.W), l.B)
+	return tensor.AddMM(x, l.W, l.B)
+}
+
+// ForwardReLU applies the layer and a ReLU in one fused tape node.
+func (l *Linear) ForwardReLU(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.AddMMReLU(x, l.W, l.B)
 }
 
 // Params implements Module.
@@ -80,6 +87,11 @@ type MLP struct {
 	Layers []*Linear
 	Act    Activation
 	OutAct Activation
+
+	// fuseReLU marks that Act is the stock ReLU, letting Forward emit
+	// fused AddMMReLU nodes for hidden layers instead of a Linear + ReLU
+	// pair. Set by NewMLP; manually assembled MLPs take the unfused path.
+	fuseReLU bool
 }
 
 // NewMLP creates an MLP with the given layer widths, e.g. dims = [in,
@@ -88,22 +100,31 @@ func NewMLP(name string, dims []int, act Activation, rng *xrand.Rand) *MLP {
 	if len(dims) < 2 {
 		panic("nn: MLP needs at least input and output dims")
 	}
-	m := &MLP{Act: act, OutAct: Identity}
+	m := &MLP{Act: act, OutAct: Identity, fuseReLU: isReLU(act)}
 	for i := 0; i+1 < len(dims); i++ {
 		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.l%d", name, i), dims[i], dims[i+1], rng))
 	}
 	return m
 }
 
+// isReLU reports whether act is the package's stock ReLU activation (func
+// values only compare via their code pointers).
+func isReLU(act Activation) bool {
+	return act != nil && reflect.ValueOf(act).Pointer() == reflect.ValueOf(ReLU).Pointer()
+}
+
 // Forward applies the MLP to x.
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	for i, l := range m.Layers {
-		h = l.Forward(h)
 		if i+1 < len(m.Layers) {
-			h = m.Act(h)
+			if m.fuseReLU {
+				h = l.ForwardReLU(h)
+			} else {
+				h = m.Act(l.Forward(h))
+			}
 		} else {
-			h = m.OutAct(h)
+			h = m.OutAct(l.Forward(h))
 		}
 	}
 	return h

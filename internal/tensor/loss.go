@@ -36,12 +36,11 @@ func BCEWithLogits(logits, target *Tensor) *Tensor {
 	if !SameShape(logits, target) {
 		panic("tensor: BCEWithLogits shape mismatch")
 	}
-	data := make([]float64, len(logits.Data))
+	out := newOp1(opClosure, len(logits.Data), logits.Shape, logits)
 	for i, x := range logits.Data {
 		t := target.Data[i]
-		data[i] = math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+		out.Data[i] = math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
 	}
-	out := newResult("bcelogits", data, logits.Shape, logits)
 	if out.requiresGrad {
 		out.backFn = func() {
 			logits.ensureGrad()

@@ -21,152 +21,222 @@ func broadcastable(a, b *Tensor) int {
 	panic(fmt.Sprintf("tensor: cannot broadcast %v against %v", b.Shape, a.Shape))
 }
 
-// binary applies fn elementwise with row/scalar broadcasting of b, and dfn
-// returns (∂out/∂a, ∂out/∂b) at each element.
-func binary(op string, a, b *Tensor, fn func(x, y float64) float64, dfn func(x, y float64) (float64, float64)) *Tensor {
+// binaryOp applies ffn elementwise with row/scalar broadcasting of b; dfn
+// returns (∂out/∂a, ∂out/∂b) at each element. Both functions must be
+// static (non-capturing) so building the node allocates nothing beyond the
+// result itself.
+func binaryOp(a, b *Tensor, ffn func(x, y float64) float64, dfn func(x, y float64) (float64, float64)) *Tensor {
 	mode := broadcastable(a, b)
-	data := make([]float64, len(a.Data))
+	out := newOp2(opBinary, len(a.Data), a.Shape, a, b)
 	cols := a.Cols()
-	bval := func(i int) float64 {
-		switch mode {
-		case 0:
-			return b.Data[i]
-		case 1:
-			return b.Data[i%cols]
-		default:
-			return b.Data[0]
+	switch mode {
+	case 0:
+		for i, x := range a.Data {
+			out.Data[i] = ffn(x, b.Data[i])
+		}
+	case 1:
+		for i, x := range a.Data {
+			out.Data[i] = ffn(x, b.Data[i%cols])
+		}
+	default:
+		y := b.Data[0]
+		for i, x := range a.Data {
+			out.Data[i] = ffn(x, y)
 		}
 	}
-	for i, x := range a.Data {
-		data[i] = fn(x, bval(i))
+	out.mode = int8(mode)
+	out.bdfn = dfn
+	return out
+}
+
+// backBinary pushes gradients through an elementwise binary op, undoing
+// the broadcast by accumulating into the shared row/scalar cells of b.
+func (t *Tensor) backBinary() {
+	a, b := t.parents[0], t.parents[1]
+	if a.requiresGrad {
+		a.ensureGrad()
 	}
-	out := newResult(op, data, a.Shape, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
+	if b.requiresGrad {
+		b.ensureGrad()
+	}
+	dfn := t.bdfn
+	cols := a.Cols()
+	switch t.mode {
+	case 0:
+		for i, x := range a.Data {
+			da, db := dfn(x, b.Data[i])
+			g := t.Grad[i]
 			if a.requiresGrad {
-				a.ensureGrad()
+				a.Grad[i] += g * da
 			}
 			if b.requiresGrad {
-				b.ensureGrad()
+				b.Grad[i] += g * db
 			}
-			for i, x := range a.Data {
-				da, db := dfn(x, bval(i))
-				g := out.Grad[i]
-				if a.requiresGrad {
-					a.Grad[i] += g * da
-				}
-				if b.requiresGrad {
-					switch mode {
-					case 0:
-						b.Grad[i] += g * db
-					case 1:
-						b.Grad[i%cols] += g * db
-					default:
-						b.Grad[0] += g * db
-					}
-				}
+		}
+	case 1:
+		for i, x := range a.Data {
+			da, db := dfn(x, b.Data[i%cols])
+			g := t.Grad[i]
+			if a.requiresGrad {
+				a.Grad[i] += g * da
+			}
+			if b.requiresGrad {
+				b.Grad[i%cols] += g * db
+			}
+		}
+	default:
+		y := b.Data[0]
+		for i, x := range a.Data {
+			da, db := dfn(x, y)
+			g := t.Grad[i]
+			if a.requiresGrad {
+				a.Grad[i] += g * da
+			}
+			if b.requiresGrad {
+				b.Grad[0] += g * db
 			}
 		}
 	}
-	return out
 }
+
+func fAdd(x, y float64) float64                { return x + y }
+func dAdd(x, y float64) (float64, float64)     { return 1, 1 }
+func fSub(x, y float64) float64                { return x - y }
+func dSub(x, y float64) (float64, float64)     { return 1, -1 }
+func fMulBin(x, y float64) float64             { return x * y }
+func dMulBin(x, y float64) (float64, float64)  { return y, x }
+func fDivBin(x, y float64) float64             { return x / y }
+func dDivBin(x, y float64) (float64, float64)  { return 1 / y, -x / (y * y) }
 
 // Add returns a + b (b may be a row vector or scalar; broadcast).
-func Add(a, b *Tensor) *Tensor {
-	return binary("add", a, b,
-		func(x, y float64) float64 { return x + y },
-		func(x, y float64) (float64, float64) { return 1, 1 })
-}
+func Add(a, b *Tensor) *Tensor { return binaryOp(a, b, fAdd, dAdd) }
 
 // Sub returns a - b.
-func Sub(a, b *Tensor) *Tensor {
-	return binary("sub", a, b,
-		func(x, y float64) float64 { return x - y },
-		func(x, y float64) (float64, float64) { return 1, -1 })
-}
+func Sub(a, b *Tensor) *Tensor { return binaryOp(a, b, fSub, dSub) }
 
 // Mul returns the elementwise product a * b.
-func Mul(a, b *Tensor) *Tensor {
-	return binary("mul", a, b,
-		func(x, y float64) float64 { return x * y },
-		func(x, y float64) (float64, float64) { return y, x })
-}
+func Mul(a, b *Tensor) *Tensor { return binaryOp(a, b, fMulBin, dMulBin) }
 
 // Div returns the elementwise quotient a / b.
-func Div(a, b *Tensor) *Tensor {
-	return binary("div", a, b,
-		func(x, y float64) float64 { return x / y },
-		func(x, y float64) (float64, float64) { return 1 / y, -x / (y * y) })
+func Div(a, b *Tensor) *Tensor { return binaryOp(a, b, fDivBin, dDivBin) }
+
+// unaryOp applies ffn elementwise; dfn(x, y, c1, c2) is ∂out/∂x given
+// input x and output y (letting activations reuse the forward value), with
+// c1/c2 carrying the op's constants (scalar addends, slopes, bounds).
+func unaryOp(a *Tensor, ffn func(x, c1, c2 float64) float64, dfn func(x, y, c1, c2 float64) float64, c1, c2 float64) *Tensor {
+	return unaryOpIn(a.arena, a, ffn, dfn, c1, c2)
 }
 
-// unary applies fn elementwise; dfn(x, y) is ∂out/∂x given input x and
-// output y (letting activations reuse the forward value).
-func unary(op string, a *Tensor, fn func(x float64) float64, dfn func(x, y float64) float64) *Tensor {
-	data := make([]float64, len(a.Data))
+// unaryOpIn is unaryOp with the result placed in ar regardless of where the
+// input lives. AddScalarIn uses it to keep per-step ops over heap
+// parameters on the tape arena.
+func unaryOpIn(ar *Arena, a *Tensor, ffn func(x, c1, c2 float64) float64, dfn func(x, y, c1, c2 float64) float64, c1, c2 float64) *Tensor {
+	out := newOp1In(ar, opUnary, len(a.Data), a.Shape, a)
 	for i, x := range a.Data {
-		data[i] = fn(x)
+		out.Data[i] = ffn(x, c1, c2)
 	}
-	out := newResult(op, data, a.Shape, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i, x := range a.Data {
-				a.Grad[i] += out.Grad[i] * dfn(x, out.Data[i])
-			}
-		}
-	}
+	out.udfn = dfn
+	out.c1, out.c2 = c1, c2
 	return out
 }
 
-// Neg returns -a.
-func Neg(a *Tensor) *Tensor {
-	return unary("neg", a, func(x float64) float64 { return -x },
-		func(x, y float64) float64 { return -1 })
+func fNeg(x, _, _ float64) float64        { return -x }
+func dNegOne(_, _, _, _ float64) float64  { return -1 }
+func fAddS(x, c, _ float64) float64       { return x + c }
+func dOne(_, _, _, _ float64) float64     { return 1 }
+func fMulS(x, c, _ float64) float64       { return x * c }
+func dC1(_, _, c, _ float64) float64      { return c }
+func fReLU(x, _, _ float64) float64       { return math.Max(x, 0) }
+func dReLU(x, _, _, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
 }
+func fLeakyReLU(x, slope, _ float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return slope * x
+}
+func dLeakyReLU(x, _, slope, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return slope
+}
+func fSigmoid(x, _, _ float64) float64    { return stableSigmoid(x) }
+func dSigmoid(_, y, _, _ float64) float64 { return y * (1 - y) }
+func fTanh(x, _, _ float64) float64       { return math.Tanh(x) }
+func dTanh(_, y, _, _ float64) float64    { return 1 - y*y }
+func fExp(x, _, _ float64) float64        { return math.Exp(x) }
+func dExp(_, y, _, _ float64) float64     { return y }
+
+const logEps = 1e-12
+
+func fLog(x, _, _ float64) float64     { return math.Log(math.Max(x, logEps)) }
+func dLog(x, _, _, _ float64) float64  { return 1 / math.Max(x, logEps) }
+func fSquare(x, _, _ float64) float64  { return x * x }
+func dSquare(x, _, _, _ float64) float64 { return 2 * x }
+func fPow10(x, _, _ float64) float64   { return math.Pow(10, x) }
+func dPow10(_, y, _, _ float64) float64 { return y * math.Ln10 }
+func fLog10(x, _, _ float64) float64   { return math.Log10(math.Max(x, logEps)) }
+func dLog10(x, _, _, _ float64) float64 {
+	return 1 / (math.Max(x, logEps) * math.Ln10)
+}
+func fClamp(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }
+func dClamp(x, _, lo, hi float64) float64 {
+	if x >= lo && x <= hi {
+		return 1
+	}
+	return 0
+}
+func fAbs(x, _, _ float64) float64 { return math.Abs(x) }
+func dAbs(x, _, _, _ float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+func fSoftplus(x, _, _ float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+func dSoftplus(x, _, _, _ float64) float64 { return stableSigmoid(x) }
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return unaryOp(a, fNeg, dNegOne, 0, 0) }
 
 // AddScalar returns a + c.
-func AddScalar(a *Tensor, c float64) *Tensor {
-	return unary("adds", a, func(x float64) float64 { return x + c },
-		func(x, y float64) float64 { return 1 })
+func AddScalar(a *Tensor, c float64) *Tensor { return unaryOp(a, fAddS, dOne, c, 0) }
+
+// AddScalarIn is AddScalar with the result (and its eventual gradient)
+// drawn from ar — used when a is a heap parameter but the computation is
+// part of an arena-backed tape, so the per-step intermediate recycles
+// instead of becoming per-step garbage. A nil ar falls back to the heap.
+func AddScalarIn(ar *Arena, a *Tensor, c float64) *Tensor {
+	return unaryOpIn(ar, a, fAddS, dOne, c, 0)
 }
 
 // MulScalar returns a * c.
-func MulScalar(a *Tensor, c float64) *Tensor {
-	return unary("muls", a, func(x float64) float64 { return x * c },
-		func(x, y float64) float64 { return c })
-}
+func MulScalar(a *Tensor, c float64) *Tensor { return unaryOp(a, fMulS, dC1, c, 0) }
 
 // ReLU returns max(a, 0) elementwise.
-func ReLU(a *Tensor) *Tensor {
-	return unary("relu", a, func(x float64) float64 { return math.Max(x, 0) },
-		func(x, y float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return 0
-		})
-}
+func ReLU(a *Tensor) *Tensor { return unaryOp(a, fReLU, dReLU, 0, 0) }
 
 // LeakyReLU returns x for x>0 and slope*x otherwise.
 func LeakyReLU(a *Tensor, slope float64) *Tensor {
-	return unary("lrelu", a, func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return slope * x
-	}, func(x, y float64) float64 {
-		if x > 0 {
-			return 1
-		}
-		return slope
-	})
+	return unaryOp(a, fLeakyReLU, dLeakyReLU, slope, 0)
 }
 
 // Sigmoid returns 1/(1+e^-x) elementwise (numerically stable form).
-func Sigmoid(a *Tensor) *Tensor {
-	return unary("sigmoid", a, stableSigmoid,
-		func(x, y float64) float64 { return y * (1 - y) })
-}
+func Sigmoid(a *Tensor) *Tensor { return unaryOp(a, fSigmoid, dSigmoid, 0, 0) }
 
 func stableSigmoid(x float64) float64 {
 	if x >= 0 {
@@ -178,81 +248,116 @@ func stableSigmoid(x float64) float64 {
 }
 
 // Tanh returns tanh(x) elementwise.
-func Tanh(a *Tensor) *Tensor {
-	return unary("tanh", a, math.Tanh,
-		func(x, y float64) float64 { return 1 - y*y })
-}
+func Tanh(a *Tensor) *Tensor { return unaryOp(a, fTanh, dTanh, 0, 0) }
 
 // Exp returns e^x elementwise.
-func Exp(a *Tensor) *Tensor {
-	return unary("exp", a, math.Exp,
-		func(x, y float64) float64 { return y })
-}
+func Exp(a *Tensor) *Tensor { return unaryOp(a, fExp, dExp, 0, 0) }
 
 // Log returns the natural logarithm elementwise, with inputs clamped to a
 // tiny positive floor for stability.
-func Log(a *Tensor) *Tensor {
-	const eps = 1e-12
-	return unary("log", a, func(x float64) float64 { return math.Log(math.Max(x, eps)) },
-		func(x, y float64) float64 { return 1 / math.Max(x, eps) })
-}
+func Log(a *Tensor) *Tensor { return unaryOp(a, fLog, dLog, 0, 0) }
 
 // Square returns x² elementwise.
-func Square(a *Tensor) *Tensor {
-	return unary("square", a, func(x float64) float64 { return x * x },
-		func(x, y float64) float64 { return 2 * x })
-}
+func Square(a *Tensor) *Tensor { return unaryOp(a, fSquare, dSquare, 0, 0) }
 
 // Pow10 returns 10^x elementwise. The Sleuth aggregation layer works on
 // unscaled durations d' = 10^(σ·d + µ) (Eq. 2), so exponentiation by ten is
 // a first-class op.
-func Pow10(a *Tensor) *Tensor {
-	ln10 := math.Ln10
-	return unary("pow10", a, func(x float64) float64 { return math.Pow(10, x) },
-		func(x, y float64) float64 { return y * ln10 })
-}
+func Pow10(a *Tensor) *Tensor { return unaryOp(a, fPow10, dPow10, 0, 0) }
 
 // Log10 returns log₁₀(x) elementwise with a positive floor.
-func Log10(a *Tensor) *Tensor {
-	const eps = 1e-12
-	return unary("log10", a, func(x float64) float64 { return math.Log10(math.Max(x, eps)) },
-		func(x, y float64) float64 { return 1 / (math.Max(x, eps) * math.Ln10) })
-}
+func Log10(a *Tensor) *Tensor { return unaryOp(a, fLog10, dLog10, 0, 0) }
 
 // Clamp limits values to [lo, hi]; gradient is 1 inside the window, 0 out.
 func Clamp(a *Tensor, lo, hi float64) *Tensor {
-	return unary("clamp", a, func(x float64) float64 { return math.Min(math.Max(x, lo), hi) },
-		func(x, y float64) float64 {
-			if x >= lo && x <= hi {
-				return 1
-			}
-			return 0
-		})
+	return unaryOp(a, fClamp, dClamp, lo, hi)
 }
 
 // Abs returns |x| elementwise (subgradient 0 at x=0).
-func Abs(a *Tensor) *Tensor {
-	return unary("abs", a, math.Abs, func(x, y float64) float64 {
-		switch {
-		case x > 0:
-			return 1
-		case x < 0:
-			return -1
-		default:
-			return 0
-		}
-	})
-}
+func Abs(a *Tensor) *Tensor { return unaryOp(a, fAbs, dAbs, 0, 0) }
 
 // Softplus returns log(1+e^x), a smooth non-negativity transform used for
 // the h' parameters of Eq. 2 (u and v must be non-negative).
-func Softplus(a *Tensor) *Tensor {
-	return unary("softplus", a, func(x float64) float64 {
-		if x > 30 {
-			return x
+func Softplus(a *Tensor) *Tensor { return unaryOp(a, fSoftplus, dSoftplus, 0, 0) }
+
+// matmulAcc accumulates dst += a·b for row-major a [m,k], b [k,n],
+// dst [m,n]. The k-dimension is unrolled four ways so each pass over an
+// output row streams four b rows — fewer loop iterations and better
+// instruction-level parallelism than the naive saxpy loop — while the
+// zero-skip guard keeps sparse one-hot feature rows cheap.
+func matmulAcc(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		l := 0
+		for ; l+4 <= k; l += 4 {
+			a0, a1, a2, a3 := arow[l], arow[l+1], arow[l+2], arow[l+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b[l*n : (l+1)*n]
+			b1 := b[(l+1)*n : (l+2)*n]
+			b2 := b[(l+2)*n : (l+3)*n]
+			b3 := b[(l+3)*n : (l+4)*n]
+			for j := range drow {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
 		}
-		return math.Log1p(math.Exp(x))
-	}, func(x, y float64) float64 { return stableSigmoid(x) })
+		for ; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b[l*n : (l+1)*n]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matmulNTAcc accumulates dst += g·bᵀ for g [m,n], b [k,n], dst [m,k] —
+// the dA term of matmul backward. Each output cell is a dot product over
+// n, computed with two running sums to expose instruction-level
+// parallelism.
+func matmulNTAcc(dst, g, b []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		grow := g[i*n : (i+1)*n]
+		drow := dst[i*k : (i+1)*k]
+		for l := 0; l < k; l++ {
+			brow := b[l*n : (l+1)*n]
+			s0, s1 := 0.0, 0.0
+			j := 0
+			for ; j+2 <= n; j += 2 {
+				s0 += grow[j] * brow[j]
+				s1 += grow[j+1] * brow[j+1]
+			}
+			if j < n {
+				s0 += grow[j] * brow[j]
+			}
+			drow[l] += s0 + s1
+		}
+	}
+}
+
+// matmulTNAcc accumulates dst += aᵀ·g for a [m,k], g [m,n], dst [k,n] —
+// the dB term of matmul backward. Runs as m rank-1 updates with the same
+// zero-skip as the forward kernel (sparse input rows touch nothing).
+func matmulTNAcc(dst, a, g []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		grow := g[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			drow := dst[l*n : (l+1)*n]
+			for j := range drow {
+				drow[j] += av * grow[j]
+			}
+		}
+	}
 }
 
 // MatMul returns the matrix product a·b for a [m,k] and b [k,n].
@@ -262,109 +367,141 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	data := make([]float64, m*n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := data[i*n : (i+1)*n]
-		for l := 0; l < k; l++ {
-			av := arow[l]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[l*n : (l+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	out := newResult("matmul", data, []int{m, n}, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				a.ensureGrad()
-				// dA = dOut · Bᵀ
-				for i := 0; i < m; i++ {
-					grow := out.Grad[i*n : (i+1)*n]
-					for l := 0; l < k; l++ {
-						brow := b.Data[l*n : (l+1)*n]
-						s := 0.0
-						for j := 0; j < n; j++ {
-							s += grow[j] * brow[j]
-						}
-						a.Grad[i*k+l] += s
-					}
-				}
-			}
-			if b.requiresGrad {
-				b.ensureGrad()
-				// dB = Aᵀ · dOut
-				for i := 0; i < m; i++ {
-					arow := a.Data[i*k : (i+1)*k]
-					grow := out.Grad[i*n : (i+1)*n]
-					for l := 0; l < k; l++ {
-						av := arow[l]
-						if av == 0 {
-							continue
-						}
-						bg := b.Grad[l*n : (l+1)*n]
-						for j := 0; j < n; j++ {
-							bg[j] += av * grow[j]
-						}
-					}
-				}
-			}
-		}
-	}
+	out := newOp2(opMatMul, m*n, []int{m, n}, a, b)
+	matmulAcc(out.Data, a.Data, b.Data, m, k, n)
+	out.i1 = k
 	return out
+}
+
+func (t *Tensor) backMatMul() {
+	a, b := t.parents[0], t.parents[1]
+	m, n := t.Shape[0], t.Shape[1]
+	k := t.i1
+	if a.requiresGrad {
+		a.ensureGrad()
+		matmulNTAcc(a.Grad, t.Grad, b.Data, m, n, k)
+	}
+	if b.requiresGrad {
+		b.ensureGrad()
+		matmulTNAcc(b.Grad, a.Data, t.Grad, m, k, n)
+	}
+}
+
+// AddMM returns x·w + bias as a single tape node — the fused Linear layer.
+// x is [m,k], w is [k,n] and bias broadcasts as a row of n values. One node
+// replaces the MatMul+Add pair, halving tape traffic on the densest op of
+// the model, and the inner kernel is the unrolled matmulAcc.
+func AddMM(x, w, bias *Tensor) *Tensor { return addmm(opAddMM, x, w, bias) }
+
+// AddMMReLU returns relu(x·w + bias) as a single tape node — the fused
+// hidden-layer step of the model's MLPs. The backward pass masks the
+// incoming gradient by the activation sign once, then reuses the AddMM
+// kernels.
+func AddMMReLU(x, w, bias *Tensor) *Tensor { return addmm(opAddMMReLU, x, w, bias) }
+
+func addmm(kind opKind, x, w, bias *Tensor) *Tensor {
+	m, k := x.Rows(), x.Cols()
+	k2, n := w.Rows(), w.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: addmm shape mismatch %v x %v", x.Shape, w.Shape))
+	}
+	if bias.Numel() != n {
+		panic(fmt.Sprintf("tensor: addmm bias length %d for %d columns", bias.Numel(), n))
+	}
+	out := newOp3(kind, m*n, []int{m, n}, x, w, bias)
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*n:(i+1)*n], bias.Data)
+	}
+	matmulAcc(out.Data, x.Data, w.Data, m, k, n)
+	if kind == opAddMMReLU {
+		for i, v := range out.Data {
+			if v < 0 {
+				out.Data[i] = 0
+			}
+		}
+	}
+	out.i1 = k
+	return out
+}
+
+func (t *Tensor) backAddMM() {
+	x, w, bias := t.parents[0], t.parents[1], t.parents[2]
+	m, n := t.Shape[0], t.Shape[1]
+	k := t.i1
+	g := t.Grad
+	if t.kind == opAddMMReLU {
+		// Mask once: cells clipped by the ReLU pass no gradient. out > 0
+		// exactly when the pre-activation was positive.
+		var mg []float64
+		if t.arena != nil {
+			mg = t.arena.Floats(len(g))
+		} else {
+			mg = make([]float64, len(g))
+		}
+		for i, v := range t.Data {
+			if v > 0 {
+				mg[i] = g[i]
+			}
+		}
+		g = mg
+	}
+	if x.requiresGrad {
+		x.ensureGrad()
+		matmulNTAcc(x.Grad, g, w.Data, m, n, k)
+	}
+	if w.requiresGrad {
+		w.ensureGrad()
+		matmulTNAcc(w.Grad, x.Data, g, m, k, n)
+	}
+	if bias.requiresGrad {
+		bias.ensureGrad()
+		bg := bias.Grad
+		for i := 0; i < m; i++ {
+			grow := g[i*n : (i+1)*n]
+			for j, v := range grow {
+				bg[j] += v
+			}
+		}
+	}
 }
 
 // Sum returns the scalar sum of all elements.
 func Sum(a *Tensor) *Tensor {
+	out := newOp1(opSum, 1, []int{1}, a)
 	s := 0.0
 	for _, v := range a.Data {
 		s += v
 	}
-	out := newResult("sum", []float64{s}, []int{1}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			g := out.Grad[0]
-			for i := range a.Grad {
-				a.Grad[i] += g
-			}
-		}
-	}
+	out.Data[0] = s
 	return out
 }
 
-// Mean returns the scalar mean of all elements.
+// Mean returns the scalar mean of all elements as a single tape node (the
+// gradient scales by 1/n in place rather than chaining MulScalar∘Sum).
 func Mean(a *Tensor) *Tensor {
-	return MulScalar(Sum(a), 1/float64(len(a.Data)))
+	out := newOp1(opMean, 1, []int{1}, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	c := 1 / float64(len(a.Data))
+	out.Data[0] = s * c
+	out.c1 = c
+	return out
 }
 
 // SumRows returns a [rows,1] column of per-row sums of a matrix.
 func SumRows(a *Tensor) *Tensor {
 	m, n := a.Rows(), a.Cols()
-	data := make([]float64, m)
+	out := newOp1(opSumRows, m, []int{m, 1}, a)
 	for i := 0; i < m; i++ {
 		s := 0.0
 		for j := 0; j < n; j++ {
 			s += a.Data[i*n+j]
 		}
-		data[i] = s
+		out.Data[i] = s
 	}
-	out := newResult("sumrows", data, []int{m, 1}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i := 0; i < m; i++ {
-				g := out.Grad[i]
-				for j := 0; j < n; j++ {
-					a.Grad[i*n+j] += g
-				}
-			}
-		}
-	}
+	out.i1, out.i2 = m, n
 	return out
 }
 
@@ -381,32 +518,14 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		}
 		total += t.Cols()
 	}
-	data := make([]float64, m*total)
+	out := newOpN(opConcatCols, m*total, []int{m, total}, ts)
 	off := 0
 	for _, t := range ts {
 		c := t.Cols()
 		for i := 0; i < m; i++ {
-			copy(data[i*total+off:i*total+off+c], t.Data[i*c:(i+1)*c])
+			copy(out.Data[i*total+off:i*total+off+c], t.Data[i*c:(i+1)*c])
 		}
 		off += c
-	}
-	out := newResult("concat", data, []int{m, total}, ts...)
-	if out.requiresGrad {
-		out.backFn = func() {
-			off := 0
-			for _, t := range ts {
-				c := t.Cols()
-				if t.requiresGrad {
-					t.ensureGrad()
-					for i := 0; i < m; i++ {
-						for j := 0; j < c; j++ {
-							t.Grad[i*c+j] += out.Grad[i*total+off+j]
-						}
-					}
-				}
-				off += c
-			}
-		}
 	}
 	return out
 }
@@ -427,25 +546,11 @@ func ConcatRows(ts ...*Tensor) *Tensor {
 		}
 		total += t.Rows()
 	}
-	data := make([]float64, 0, total*n)
+	out := newOpN(opConcatRows, total*n, []int{total, n}, ts)
+	off := 0
 	for _, t := range ts {
-		data = append(data, t.Data...)
-	}
-	out := newResult("concatrows", data, []int{total, n}, ts...)
-	if out.requiresGrad {
-		out.backFn = func() {
-			off := 0
-			for _, t := range ts {
-				size := t.Rows() * n
-				if t.requiresGrad {
-					t.ensureGrad()
-					for i := 0; i < size; i++ {
-						t.Grad[i] += out.Grad[off+i]
-					}
-				}
-				off += size
-			}
-		}
+		copy(out.Data[off:off+len(t.Data)], t.Data)
+		off += len(t.Data)
 	}
 	return out
 }
@@ -455,53 +560,36 @@ func ConcatRows(ts ...*Tensor) *Tensor {
 // must not be mutated afterwards.
 func IndexRows(a *Tensor, idx []int) *Tensor {
 	n := a.Cols()
-	data := make([]float64, len(idx)*n)
+	out := newOp1(opIndexRows, len(idx)*n, []int{len(idx), n}, a)
 	for i, src := range idx {
-		copy(data[i*n:(i+1)*n], a.Data[src*n:(src+1)*n])
+		copy(out.Data[i*n:(i+1)*n], a.Data[src*n:(src+1)*n])
 	}
-	out := newResult("index", data, []int{len(idx), n}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i, src := range idx {
-				for j := 0; j < n; j++ {
-					a.Grad[src*n+j] += out.Grad[i*n+j]
-				}
-			}
-		}
-	}
+	out.idx = idx
 	return out
 }
 
 // SegmentSum sums the rows of a into nSeg output rows by segment ID:
 // out[seg[i]] += a[i]. This is the scatter-add primitive of graph message
 // passing — rows are messages, segments are destination nodes. Segment IDs
-// must lie in [0, nSeg).
+// must lie in [0, nSeg). seg is captured by reference and must not be
+// mutated afterwards.
 func SegmentSum(a *Tensor, seg []int, nSeg int) *Tensor {
 	if len(seg) != a.Rows() {
 		panic("tensor: SegmentSum segment length mismatch")
 	}
 	n := a.Cols()
-	data := make([]float64, nSeg*n)
+	out := newOp1(opSegmentSum, nSeg*n, []int{nSeg, n}, a)
 	for i, s := range seg {
 		if s < 0 || s >= nSeg {
 			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, nSeg))
 		}
-		for j := 0; j < n; j++ {
-			data[s*n+j] += a.Data[i*n+j]
+		dst := out.Data[s*n : (s+1)*n]
+		src := a.Data[i*n : (i+1)*n]
+		for j := range dst {
+			dst[j] += src[j]
 		}
 	}
-	out := newResult("segsum", data, []int{nSeg, n}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i, s := range seg {
-				for j := 0; j < n; j++ {
-					a.Grad[i*n+j] += out.Grad[s*n+j]
-				}
-			}
-		}
-	}
+	out.idx = seg
 	return out
 }
 
@@ -514,8 +602,14 @@ func SegmentMax(a *Tensor, seg []int, nSeg int, fallback float64) *Tensor {
 		panic("tensor: SegmentMax segment length mismatch")
 	}
 	n := a.Cols()
-	data := make([]float64, nSeg*n)
-	argmax := make([]int, nSeg*n)
+	out := newOp1(opSegmentMax, nSeg*n, []int{nSeg, n}, a)
+	var argmax []int
+	if out.arena != nil {
+		argmax = out.arena.Ints(nSeg * n)
+	} else {
+		argmax = make([]int, nSeg*n)
+	}
+	data := out.Data
 	for i := range data {
 		data[i] = math.Inf(-1)
 		argmax[i] = -1
@@ -536,19 +630,7 @@ func SegmentMax(a *Tensor, seg []int, nSeg int, fallback float64) *Tensor {
 			data[i] = fallback
 		}
 	}
-	out := newResult("segmax", data, []int{nSeg, n}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for s := 0; s < nSeg; s++ {
-				for j := 0; j < n; j++ {
-					if src := argmax[s*n+j]; src >= 0 {
-						a.Grad[src*n+j] += out.Grad[s*n+j]
-					}
-				}
-			}
-		}
-	}
+	out.idx = argmax
 	return out
 }
 
@@ -558,29 +640,9 @@ func Max2(a, b *Tensor) *Tensor {
 	if !SameShape(a, b) {
 		panic("tensor: Max2 shape mismatch")
 	}
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = math.Max(a.Data[i], b.Data[i])
-	}
-	out := newResult("max2", data, a.Shape, a, b)
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				a.ensureGrad()
-			}
-			if b.requiresGrad {
-				b.ensureGrad()
-			}
-			for i := range data {
-				if a.Data[i] >= b.Data[i] {
-					if a.requiresGrad {
-						a.Grad[i] += out.Grad[i]
-					}
-				} else if b.requiresGrad {
-					b.Grad[i] += out.Grad[i]
-				}
-			}
-		}
+	out := newOp2(opMax2, len(a.Data), a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = math.Max(a.Data[i], b.Data[i])
 	}
 	return out
 }
@@ -593,39 +655,21 @@ func SliceCols(a *Tensor, lo, hi int) *Tensor {
 		panic(fmt.Sprintf("tensor: SliceCols[%d:%d] of %d columns", lo, hi, n))
 	}
 	w := hi - lo
-	data := make([]float64, m*w)
+	out := newOp1(opSliceCols, m*w, []int{m, w}, a)
 	for i := 0; i < m; i++ {
-		copy(data[i*w:(i+1)*w], a.Data[i*n+lo:i*n+hi])
+		copy(out.Data[i*w:(i+1)*w], a.Data[i*n+lo:i*n+hi])
 	}
-	out := newResult("slicecols", data, []int{m, w}, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i := 0; i < m; i++ {
-				for j := 0; j < w; j++ {
-					a.Grad[i*n+lo+j] += out.Grad[i*w+j]
-				}
-			}
-		}
-	}
+	out.i1, out.i2 = lo, hi
 	return out
 }
 
-// Reshape returns a tensor viewing the same data with a new shape of equal
+// Reshape returns a tensor copying the same data with a new shape of equal
 // element count; gradients pass through unchanged.
 func Reshape(a *Tensor, shape ...int) *Tensor {
 	if numel(shape) != len(a.Data) {
 		panic(fmt.Sprintf("tensor: reshape %v -> %v", a.Shape, shape))
 	}
-	data := append([]float64(nil), a.Data...)
-	out := newResult("reshape", data, shape, a)
-	if out.requiresGrad {
-		out.backFn = func() {
-			a.ensureGrad()
-			for i := range a.Grad {
-				a.Grad[i] += out.Grad[i]
-			}
-		}
-	}
+	out := newOp1(opReshape, len(a.Data), shape, a)
+	copy(out.Data, a.Data)
 	return out
 }
