@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet verify bench bench-go bench-compare alloc obs-overhead
+.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# fmt fails (listing the offenders) if any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # verify is the pre-merge gate: static checks, a clean build, the full
 # suite under the race detector (the data-parallel trainer and the batched
 # inference paths are only trustworthy race-clean), the allocation-
@@ -23,14 +28,14 @@ race:
 # they need a non-race pass), and a smoke run of the observability-overhead
 # benchmark — the disabled-path numbers back the "off by default costs
 # nothing" claim.
-verify: vet build race alloc obs-overhead
+verify: fmt vet build race alloc obs-overhead
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing and
 # the per-trace predict cost must stay a small constant. These tests
 # auto-skip under -race, so `make race` alone would never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -52,4 +57,4 @@ bench-compare:
 	$(GO) run ./cmd/benchrunner -exp hot -baseline $(BENCHOUT)
 
 obs-overhead:
-	$(GO) test -bench=BenchmarkObsOverhead -benchtime=10000x -run=^$$ ./internal/obs
+	$(GO) test -bench='BenchmarkObsOverhead|BenchmarkSeriesAppend' -benchtime=10000x -run=^$$ ./internal/obs

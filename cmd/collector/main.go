@@ -28,11 +28,31 @@ func main() {
 		out       = flag.String("out", "spans.jsonl", "spans JSONL written on shutdown")
 		enableObs = flag.Bool("obs", true, "enable the metrics registry and /debug endpoints")
 		accessLog = flag.Bool("access-log", false, "log one structured line per request")
+		sample    = flag.Duration("sample", obs.EnvSampleInterval(10*time.Second),
+			"metric sampling interval for /debug/series (0 disables; SLEUTH_OBS_SAMPLE overrides the default)")
+		flushFile = flag.String("flush-file", "", "append JSONL metric snapshots to this file")
+		flushURL  = flag.String("flush-url", "", "POST JSONL metric snapshots to this URL")
+		flushIvl  = flag.Duration("flush-interval", 10*time.Second, "metric flush interval")
 	)
 	flag.Parse()
 
 	if *enableObs {
 		obs.Enable()
+		if *sample > 0 {
+			obs.StartSampler(*sample)
+		}
+	}
+	var flusher *obs.Flusher
+	if *flushFile != "" || *flushURL != "" {
+		var err error
+		flusher, err = obs.NewFlusher(obs.Global(), obs.FlusherOptions{
+			Interval: *flushIvl, Path: *flushFile, URL: *flushURL,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "collector: %v\n", err)
+			os.Exit(1)
+		}
+		flusher.Start()
 	}
 	st := store.New()
 	col := collector.New(st)
@@ -55,6 +75,10 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+	if flusher != nil {
+		flusher.Stop()
+	}
+	obs.StopSampler()
 	if err := st.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "collector: saving spans: %v\n", err)
 		os.Exit(1)

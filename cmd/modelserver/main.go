@@ -15,7 +15,10 @@
 //	GET  /models/{name}/{version}/lineage ancestry (JSON)
 //	POST /models/{name}/{version}/retire  retire a version
 //	POST /models/{name}/{version}/score   batched inference (JSON spans)
+//	GET  /healthz                         liveness + build info (JSON)
+//	GET  /metrics                         Prometheus text exposition
 //	GET  /debug/metrics                   metrics snapshot (JSON)
+//	GET  /debug/series                    time-series ring buffers (JSON)
 //	GET  /debug/pprof/...                 runtime profiles
 package main
 
@@ -36,10 +39,15 @@ func main() {
 		dir       = flag.String("dir", "models", "registry directory")
 		enableObs = flag.Bool("obs", true, "enable the metrics registry and /debug endpoints")
 		accessLog = flag.Bool("access-log", true, "log one structured line per request")
+		sample    = flag.Duration("sample", obs.EnvSampleInterval(10*time.Second),
+			"metric sampling interval for /debug/series (0 disables; SLEUTH_OBS_SAMPLE overrides the default)")
 	)
 	flag.Parse()
 	if *enableObs {
 		obs.Enable()
+		if *sample > 0 {
+			obs.StartSampler(*sample)
+		}
 	}
 	reg, err := modelserver.Open(*dir)
 	if err != nil {

@@ -5,6 +5,7 @@
 //	sleuthctl cluster -traces incident.jsonl
 //	sleuthctl ops     -traces spans.jsonl      # per-operation statistics
 //	sleuthctl selftrace -in selftrace.json     # replay a pipeline self-trace
+//	sleuthctl watch   -addr localhost:4318     # live sparkline telemetry view
 //
 // Trace files are span JSONL as written by tracegen or the collector.
 //
@@ -20,9 +21,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	sleuth "github.com/sleuth-rca/sleuth"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
@@ -48,6 +51,8 @@ func main() {
 		err = cmdOps(os.Args[2:])
 	case "selftrace":
 		err = cmdSelfTrace(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace|watch> [flags]")
 	os.Exit(2)
 }
 
@@ -107,12 +112,24 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", 1, "training seed")
 	selftrace := fs.String("selftrace", "", "write the pipeline self-trace (OTLP JSON) here")
 	metrics := fs.Bool("metrics", false, "print the metrics-registry snapshot after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/series on this address during the run (watch with: sleuthctl watch -addr <addr>)")
 	_ = fs.Parse(args)
 	if *tracesPath == "" {
 		return fmt.Errorf("train: -traces is required")
 	}
 	if *metrics {
 		obs.Enable()
+	}
+	if *debugAddr != "" {
+		obs.Enable()
+		obs.StartSampler(obs.EnvSampleInterval(time.Second))
+		mux := http.NewServeMux()
+		obs.Mount(mux)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "sleuthctl: debug server: %v\n", err)
+			}
+		}()
 	}
 	var tracer *sleuth.Tracer
 	if *selftrace != "" {

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/obs"
+)
+
+// sparkRunes is the 8-level block ramp used for trend rendering.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a fixed-width block-character trend. Values
+// are scaled to the min..max of the rendered tail; a flat series renders at
+// mid height so it is visibly present rather than an empty row.
+func sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return strings.Repeat(" ", width)
+	}
+	if len(values) > width {
+		values = values[len(values)-width:]
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		level := len(sparkRunes) / 2
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	for i := len(values); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// fmtValue renders a sample value compactly: integers without decimals,
+// large magnitudes in engineering shorthand.
+func fmtValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// renderFrame formats one watch frame: a sparkline row per series, sorted
+// by name, with last value and window stats.
+func renderFrame(resp obs.SeriesQueryResponse, width int) string {
+	names := make([]string, 0, len(resp.Series))
+	for name := range resp.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %-*s %12s %12s %12s\n", "series", width, "trend", "last", "mean", "rate/s")
+	for _, name := range names {
+		data := resp.Series[name]
+		values := make([]float64, len(data.Samples))
+		for i, s := range data.Samples {
+			values[i] = s.V
+		}
+		st := data.Stats
+		fmt.Fprintf(&b, "%-42s %s %12s %12s %12s\n",
+			name, sparkline(values, width), fmtValue(st.Last), fmtValue(st.Mean), fmtValue(st.Rate))
+	}
+	return b.String()
+}
+
+// fetchJSON GETs a URL and decodes the JSON body into out.
+func fetchJSON(client *http.Client, rawURL string, out interface{}) error {
+	resp, err := client.Get(rawURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", rawURL, resp.StatusCode)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// cmdWatch polls a server's /debug/series endpoint and renders live
+// sparkline trends — a terminal dashboard over the time-series telemetry
+// exposed by the collector, model server, and `sleuthctl train -debug-addr`.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:4318", "base URL of a server exposing /debug/series")
+	seriesFlag := fs.String("series", "", "comma-separated series names (empty = every series the server has)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	window := fs.Duration("window", 5*time.Minute, "stats window")
+	count := fs.Int("n", 0, "number of polls, 0 = until interrupted")
+	_ = fs.Parse(args)
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for i := 0; *count <= 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		names := *seriesFlag
+		if names == "" {
+			var list obs.SeriesListResponse
+			if err := fetchJSON(client, base+"/debug/series", &list); err != nil {
+				return fmt.Errorf("watch: listing series: %w", err)
+			}
+			parts := make([]string, len(list.Series))
+			for j, info := range list.Series {
+				parts[j] = info.Name
+			}
+			names = strings.Join(parts, ",")
+		}
+		var resp obs.SeriesQueryResponse
+		if names != "" {
+			q := base + "/debug/series?name=" + url.QueryEscape(names) +
+				"&window=" + url.QueryEscape(window.String())
+			if err := fetchJSON(client, q, &resp); err != nil {
+				return fmt.Errorf("watch: querying series: %w", err)
+			}
+		}
+		// Home the cursor and clear below it, then redraw the frame.
+		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Printf("sleuthctl watch %s  window=%s  %s\n\n",
+			base, window, time.Now().Format(time.TimeOnly))
+		if len(resp.Series) == 0 {
+			fmt.Println("no series yet — is the server running with observability enabled?")
+			continue
+		}
+		fmt.Print(renderFrame(resp, 40))
+	}
+	return nil
+}

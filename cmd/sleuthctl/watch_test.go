@@ -1,0 +1,106 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/obs"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	// Flat series renders at mid height, not blanks.
+	if got := sparkline([]float64{5, 5, 5}, 3); got != "▅▅▅" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	// Longer than width: only the tail is rendered.
+	if got := sparkline([]float64{9, 9, 0, 8}, 2); got != "▁█" {
+		t.Errorf("tail sparkline = %q", got)
+	}
+	// Shorter than width: padded to fixed width.
+	if got := sparkline([]float64{1}, 4); len([]rune(got)) != 4 {
+		t.Errorf("padded sparkline = %q (%d runes)", got, len([]rune(got)))
+	}
+	if got := sparkline(nil, 3); got != "   " {
+		t.Errorf("empty sparkline = %q", got)
+	}
+}
+
+func TestFmtValue(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		0.125:  "0.125",
+		12500:  "12.5k",
+		2.5e6:  "2.50M",
+		3.21e9: "3.21G",
+		-1.5e6: "-1.50M",
+	}
+	for in, want := range cases {
+		if got := fmtValue(in); got != want {
+			t.Errorf("fmtValue(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	resp := obs.SeriesQueryResponse{
+		WindowSec: 300,
+		Series: map[string]obs.SeriesData{
+			"core.train.epoch.loss": {
+				Samples: []obs.Sample{{TS: 1, V: 4}, {TS: 2, V: 2}, {TS: 3, V: 1}},
+				Stats:   obs.SeriesStats{Count: 3, Last: 1, Mean: 7.0 / 3, Rate: -1.5},
+			},
+			"collector.ingest.spans": {
+				Samples: []obs.Sample{{TS: 1, V: 10}},
+				Stats:   obs.SeriesStats{Count: 1, Last: 10, Mean: 10},
+			},
+		},
+	}
+	out := renderFrame(resp, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("frame has %d lines, want header + 2 series:\n%s", len(lines), out)
+	}
+	// Sorted by name: collector row before core row.
+	if !strings.HasPrefix(lines[1], "collector.ingest.spans") ||
+		!strings.HasPrefix(lines[2], "core.train.epoch.loss") {
+		t.Errorf("rows not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "█") || !strings.Contains(lines[2], "▁") {
+		t.Errorf("loss row missing sparkline extremes: %q", lines[2])
+	}
+}
+
+// TestCmdWatchAgainstLiveServer drives the full watch path against a real
+// obs-mounted server: series discovery via the listing, the query, and a
+// bounded number of polls.
+func TestCmdWatchAgainstLiveServer(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	s := obs.S("watch.test.series")
+	for i := 0; i < 5; i++ {
+		s.Append(float64(i))
+	}
+	mux := http.NewServeMux()
+	obs.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if err := cmdWatch([]string{
+		"-addr", srv.URL, "-n", "2", "-interval", "1ms", "-window", "1m",
+	}); err != nil {
+		t.Fatalf("cmdWatch: %v", err)
+	}
+	// Explicit series selection, scheme-less address.
+	if err := cmdWatch([]string{
+		"-addr", strings.TrimPrefix(srv.URL, "http://"),
+		"-series", "watch.test.series", "-n", "1",
+	}); err != nil {
+		t.Fatalf("cmdWatch with -series: %v", err)
+	}
+}

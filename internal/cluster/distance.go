@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -243,7 +244,16 @@ func Pairwise(sets []WeightedSet) *Matrix {
 	timer := obs.H("cluster.pairwise_us").Start()
 	defer timer.Stop()
 	obs.C("cluster.pairwise_calls").Inc()
-	obs.C("cluster.distances").Add(int64(n) * int64(n-1) / 2)
+	distances := int64(n) * int64(n-1) / 2
+	obs.C("cluster.distances").Add(distances)
+	if rateSeries := obs.S("cluster.pairwise.distances_per_sec"); rateSeries != nil && distances > 0 {
+		start := time.Now()
+		defer func() {
+			if sec := time.Since(start).Seconds(); sec > 0 {
+				rateSeries.Append(float64(distances) / sec)
+			}
+		}()
+	}
 	m := NewMatrix(n)
 	fillRow := func(i int) {
 		for j := i + 1; j < n; j++ {

@@ -3,7 +3,42 @@ package cluster
 import (
 	"math"
 	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/obs"
 )
+
+// emitClusterStats records the shape of a clustering outcome as time
+// series: cluster count, noise points, and mean/max cluster size. No-op
+// when observability is disabled.
+func emitClusterStats(labels []int) {
+	if obs.Global() == nil {
+		return
+	}
+	counts := make(map[int]int)
+	noise := 0
+	for _, l := range labels {
+		if l < 0 {
+			noise++
+			continue
+		}
+		counts[l]++
+	}
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := 0.0
+	if len(counts) > 0 {
+		mean = float64(total) / float64(len(counts))
+	}
+	obs.S("cluster.clusters").Append(float64(len(counts)))
+	obs.S("cluster.noise_points").Append(float64(noise))
+	obs.S("cluster.mean_size").Append(mean)
+	obs.S("cluster.max_size").Append(float64(max))
+}
 
 // Options configures HDBSCAN. The paper initialises min_cluster_size=10,
 // min_samples=5, cluster_selection_epsilon=1 and adjusts per batch
@@ -48,6 +83,7 @@ func HDBSCAN(m *Matrix, opts Options) []int {
 		opts.MinSamples = 1
 	}
 	if n < opts.MinClusterSize {
+		emitClusterStats(labels)
 		return labels
 	}
 
@@ -56,7 +92,9 @@ func HDBSCAN(m *Matrix, opts Options) []int {
 	dendro := singleLinkage(edges, n)
 	condensed := condense(dendro, n, opts.MinClusterSize)
 	selected := selectClusters(condensed, opts)
-	return labelPoints(condensed, selected, n)
+	labels = labelPoints(condensed, selected, n)
+	emitClusterStats(labels)
+	return labels
 }
 
 // coreDistances returns each point's distance to its k-th nearest
@@ -455,5 +493,6 @@ func DBSCAN(m *Matrix, eps float64, minPts int) []int {
 			labels[i] = noise
 		}
 	}
+	emitClusterStats(labels)
 	return labels
 }

@@ -42,21 +42,21 @@ func New(st *store.Store) *Collector {
 //	POST /v1/traces      — OTLP-style JSON
 //	POST /api/v2/spans   — Zipkin-style JSON
 //	POST /api/traces     — Jaeger-style JSON
-//	GET  /healthz        — liveness
+//	GET  /healthz        — liveness + build info (JSON)
 //	GET  /stats          — span/trace counts
+//	GET  /metrics        — Prometheus text exposition
 //	GET  /debug/metrics  — metrics registry snapshot (JSON)
+//	GET  /debug/series   — time-series ring buffers (JSON)
 //	GET  /debug/pprof/…  — runtime profiles
 //
 // Every request flows through the obs access-log middleware, which assigns
 // (or propagates) an X-Request-ID and records request counters/latency.
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/traces", c.ingest(otel.DecodeOTLP))
-	mux.HandleFunc("/api/v2/spans", c.ingest(otel.DecodeZipkin))
-	mux.HandleFunc("/api/traces", c.ingest(otel.DecodeJaeger))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/v1/traces", c.ingest("otlp", otel.DecodeOTLP))
+	mux.HandleFunc("/api/v2/spans", c.ingest("zipkin", otel.DecodeZipkin))
+	mux.HandleFunc("/api/traces", c.ingest("jaeger", otel.DecodeJaeger))
+	mux.HandleFunc("/healthz", obs.HealthHandler("collector"))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, `{"spans":%d,"traces":%d}`+"\n", c.Store.SpanCount(), c.Store.TraceCount())
 	})
@@ -75,8 +75,12 @@ func validSpan(s *trace.Span) bool {
 		s.End >= s.Start
 }
 
-// ingest builds a POST handler around a decoder.
-func (c *Collector) ingest(decode func([]byte) ([]*trace.Span, error)) http.HandlerFunc {
+// ingest builds a POST handler around a decoder. Metric names carrying the
+// protocol are precomputed here, outside the request path, so the per-
+// request cost stays at handle lookups.
+func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, error)) http.HandlerFunc {
+	protoDecodeErrors := "collector.decode_errors." + proto
+	protoSpansAccepted := "collector.spans_accepted." + proto
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -95,6 +99,8 @@ func (c *Collector) ingest(decode func([]byte) ([]*trace.Span, error)) http.Hand
 			// the count is surfaced in the response body alongside the
 			// error so lossy clients can see drops, not just 400s.
 			obs.C("collector.decode_errors").Inc()
+			obs.C(protoDecodeErrors).Inc()
+			obs.S(protoDecodeErrors).Append(1)
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusBadRequest)
 			fmt.Fprintf(w, `{"accepted":0,"decodeErrors":1,"error":%q}`+"\n", err.Error())
@@ -110,7 +116,9 @@ func (c *Collector) ingest(decode func([]byte) ([]*trace.Span, error)) http.Hand
 			}
 		}
 		obs.C("collector.spans_accepted").Add(int64(len(accepted)))
+		obs.C(protoSpansAccepted).Add(int64(len(accepted)))
 		obs.C("collector.spans_rejected").Add(int64(rejected))
+		obs.S("collector.ingest.spans").Append(float64(len(accepted)))
 		c.Store.AddSpans(accepted)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)

@@ -2,10 +2,14 @@ package collector
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/sim"
 	"github.com/sleuth-rca/sleuth/internal/store"
@@ -101,9 +105,17 @@ func TestHealthAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h obs.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Component != "collector" || h.GoVersion == "" {
+		t.Fatalf("healthz = %+v", h)
 	}
 	resp, err = http.Get(srv.URL + "/stats")
 	if err != nil {
@@ -112,5 +124,58 @@ func TestHealthAndStats(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsAndSeriesEndpoints: with observability enabled, an ingest must
+// surface in the Prometheus exposition (global and per-protocol counters)
+// and in the ingest-rate series behind /debug/series.
+func TestMetricsAndSeriesEndpoints(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	srv, _ := testServer(t)
+	spans := sampleSpans(t)
+	data, err := otel.EncodeOTLP(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post(t, srv.URL+"/v1/traces", data)
+	post(t, srv.URL+"/v1/traces", []byte("{broken"))
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"collector_spans_accepted_total",
+		"collector_spans_accepted_otlp_total",
+		"collector_decode_errors_otlp_total 1",
+		"# TYPE collector_http_request_us histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/series?name=collector.ingest.spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var q obs.SeriesQueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatalf("/debug/series not JSON: %v", err)
+	}
+	samples := q.Series["collector.ingest.spans"].Samples
+	if len(samples) != 1 || samples[0].V != float64(len(spans)) {
+		t.Errorf("ingest series = %+v, want one sample of %d spans", samples, len(spans))
 	}
 }

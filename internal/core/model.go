@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/features"
 	"github.com/sleuth-rca/sleuth/internal/gnn"
@@ -440,6 +441,15 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 		normGauge  = obs.G("core.train.grad_norm")
 		epochHist  = obs.H("core.train.epoch_us")
 		batchHist  = obs.H("core.train.batch_us")
+		// Per-epoch time series for model-quality telemetry: loss curve,
+		// gradient-norm trajectory before/after clipping, throughput and
+		// arena memory. All nil (free) when observability is off.
+		lossSeries     = obs.S("core.train.epoch.loss")
+		gradSeries     = obs.S("core.train.epoch.grad_norm")
+		gradClipSeries = obs.S("core.train.epoch.grad_norm_clipped")
+		rateSeries     = obs.S("core.train.epoch.samples_per_sec")
+		arenaBytes     = obs.S("core.train.epoch.arena_bytes")
+		arenaResets    = obs.S("core.train.epoch.arena_resets")
 	)
 	tracesCtr.Add(int64(len(traces)))
 	trainSpan := opts.Tracer.Start("train", nil)
@@ -475,9 +485,15 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 	var lastMean float64
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		epochTimer := epochHist.Start()
+		var epochStart time.Time
+		if rateSeries != nil {
+			epochStart = time.Now()
+		}
 		epochSpan := trainSpan.Child("gnn-forward-backward")
 		order := rng.Perm(len(encs))
 		total := 0.0
+		gradSum, gradClipSum := 0.0, 0.0
+		nBatches := 0
 		for start := 0; start < len(order); start += batchSize {
 			end := start + batchSize
 			if end > len(order) {
@@ -510,11 +526,19 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 			wg.Wait()
 			opt.ZeroGrad()
 			nn.ReduceGradBuffers(m, buffers[:len(batch)], 1/float64(len(batch)))
-			if opts.GradClip > 0 || normGauge != nil {
+			if opts.GradClip > 0 || normGauge != nil || gradSeries != nil {
 				// ClipGradNorm measures (and, when enabled, clips) the
 				// global gradient norm; with clipping disabled it is called
-				// only for the gauge.
-				normGauge.Set(nn.ClipGradNorm(m, opts.GradClip))
+				// only for the telemetry.
+				norm := nn.ClipGradNorm(m, opts.GradClip)
+				normGauge.Set(norm)
+				if gradSeries != nil {
+					gradSum += norm
+					if opts.GradClip > 0 && norm > opts.GradClip {
+						norm = opts.GradClip
+					}
+					gradClipSum += norm
+				}
 			}
 			opt.Step()
 			for _, l := range losses[:len(batch)] {
@@ -522,6 +546,7 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 			}
 			batchTimer.Stop()
 			batchesCtr.Inc()
+			nBatches++
 		}
 		lastMean = total / float64(len(encs))
 		if math.IsNaN(lastMean) {
@@ -530,6 +555,25 @@ func (m *Model) Train(traces []*trace.Trace, opts TrainOptions) (TrainStats, err
 			return TrainStats{}, fmt.Errorf("core: loss diverged at epoch %d", epoch)
 		}
 		lossGauge.Set(lastMean)
+		lossSeries.Append(lastMean)
+		if gradSeries != nil && nBatches > 0 {
+			gradSeries.Append(gradSum / float64(nBatches))
+			gradClipSeries.Append(gradClipSum / float64(nBatches))
+		}
+		if rateSeries != nil {
+			if sec := time.Since(epochStart).Seconds(); sec > 0 {
+				rateSeries.Append(float64(len(encs)) / sec)
+			}
+		}
+		if arenaBytes != nil {
+			var retained, recycles int64
+			for _, ar := range arenas {
+				retained += int64(ar.Bytes())
+				recycles += ar.Resets()
+			}
+			arenaBytes.Append(float64(retained))
+			arenaResets.Append(float64(recycles))
+		}
 		epochsCtr.Inc()
 		epochTimer.Stop()
 		if epochSpan != nil {

@@ -259,7 +259,10 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	POST /models/{name}?trainedOn=...&parent={name}@{version}   publish blob
 //	POST /models/{name}/{version}/retire   retire
 //	POST /models/{name}/{version}/score    batched inference (JSON spans)
+//	GET  /healthz                          liveness + build info (JSON)
+//	GET  /metrics                          Prometheus text exposition
 //	GET  /debug/metrics                    metrics registry snapshot (JSON)
+//	GET  /debug/series                     time-series ring buffers (JSON)
 //	GET  /debug/pprof/...                  runtime profiles
 type Server struct {
 	Registry *Registry
@@ -275,6 +278,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/models", s.handleList)
 	mux.HandleFunc("/models/", s.handleModel)
+	mux.HandleFunc("/healthz", obs.HealthHandler("modelserver"))
 	obs.Mount(mux)
 	return obs.AccessLog("modelserver", s.AccessLog, mux)
 }

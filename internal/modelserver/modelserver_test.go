@@ -7,9 +7,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/sim"
 	"github.com/sleuth-rca/sleuth/internal/synth"
 )
@@ -404,5 +406,45 @@ func TestParseRef(t *testing.T) {
 		if ok != c.ok || (ok && (name != c.name || ver != c.ver)) {
 			t.Errorf("parseRef(%q) = %q %d %v", c.in, name, ver, ok)
 		}
+	}
+}
+
+// TestHealthAndMetricsEndpoints: the model server must expose a JSON
+// health probe and the Prometheus exposition alongside the model routes.
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h obs.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Component != "modelserver" || !h.Obs {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "modelserver_http_requests_total") {
+		t.Errorf("/metrics missing request counter:\n%s", body)
 	}
 }

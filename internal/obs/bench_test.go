@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkObsOverhead measures the per-operation cost of every metric
 // primitive in both states: disabled (nil handles — the price every hot
@@ -65,4 +68,40 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSeriesAppend measures the ring-buffer append hot path — the
+// cost every instrumented loop iteration pays when telemetry is enabled.
+// Must report 0 allocs/op (enforced by TestSeriesSteadyStateAllocs and
+// `make alloc`).
+func BenchmarkSeriesAppend(b *testing.B) {
+	b.Run("append", func(b *testing.B) {
+		s := newSeries("bench.series", DefaultSeriesCap)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Append(float64(i))
+		}
+	})
+	b.Run("append-nil", func(b *testing.B) {
+		var s *Series
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Append(float64(i))
+		}
+	})
+	b.Run("sampler-sweep", func(b *testing.B) {
+		r := NewRegistry()
+		registerRuntimeGauges(r)
+		for i := 0; i < 8; i++ {
+			r.Counter("bench.c" + string(rune('a'+i))).Inc()
+			r.Gauge("bench.g" + string(rune('a'+i))).Set(1)
+		}
+		r.Histogram("bench.h_us").Observe(42)
+		sp := NewSampler(r, time.Hour)
+		sp.sample(1) // build bindings
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp.sample(int64(i) + 2)
+		}
+	})
 }

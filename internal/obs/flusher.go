@@ -1,0 +1,191 @@
+// Flusher is the push-model exporter: agent-style periodic flushing of
+// registry snapshots as JSON lines to a file, an arbitrary io.Writer, or an
+// HTTP sink. Aggregation stays in-process (the registry); the flusher only
+// serialises and ships, with a bounded queue between the two so a stalled
+// sink can never block instrumentation or grow memory — overflowing
+// snapshots are dropped and counted (obs.flush.dropped).
+
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// FlushRecord is one exported line: a timestamped registry snapshot.
+type FlushRecord struct {
+	// TS is the flush time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	Snapshot
+}
+
+// FlusherOptions configures a Flusher. Exactly one sink — Path, URL or
+// Sink — must be set.
+type FlusherOptions struct {
+	// Interval between snapshots (default 10s).
+	Interval time.Duration
+	// Buffer bounds the queue of pending encoded snapshots (default 16);
+	// when full, new snapshots are dropped and counted.
+	Buffer int
+	// Path appends JSON lines to a file (created if missing).
+	Path string
+	// URL POSTs each snapshot line (Content-Type application/x-ndjson).
+	URL string
+	// Sink receives JSON lines directly (tests, custom transports).
+	Sink io.Writer
+	// Client overrides the HTTP client used with URL.
+	Client *http.Client
+}
+
+// Flusher periodically exports registry snapshots. Create with NewFlusher,
+// launch with Start, and Stop to flush the queue and release the sink.
+type Flusher struct {
+	reg  *Registry
+	opts FlusherOptions
+
+	queue chan []byte
+	stop  chan struct{}
+	done  chan struct{}
+	file  *os.File
+
+	flushed *Counter
+	dropped *Counter
+	errs    *Counter
+
+	stopOnce sync.Once
+}
+
+// NewFlusher validates opts and prepares a flusher over reg.
+func NewFlusher(reg *Registry, opts FlusherOptions) (*Flusher, error) {
+	if reg == nil {
+		return nil, errors.New("obs: flusher needs a registry")
+	}
+	sinks := 0
+	for _, set := range []bool{opts.Path != "", opts.URL != "", opts.Sink != nil} {
+		if set {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		return nil, errors.New("obs: flusher needs exactly one of Path, URL or Sink")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 16
+	}
+	if opts.URL != "" && opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	f := &Flusher{
+		reg:     reg,
+		opts:    opts,
+		queue:   make(chan []byte, opts.Buffer),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		flushed: reg.Counter("obs.flush.flushed"),
+		dropped: reg.Counter("obs.flush.dropped"),
+		errs:    reg.Counter("obs.flush.errors"),
+	}
+	if opts.Path != "" {
+		file, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("obs: opening flush file: %w", err)
+		}
+		f.file = file
+	}
+	return f, nil
+}
+
+// Start launches the snapshot ticker and the sink writer.
+func (f *Flusher) Start() {
+	go f.tickLoop()
+	go f.writeLoop()
+}
+
+// Stop halts snapshotting, drains queued snapshots to the sink, and closes
+// a file sink. Safe to call more than once.
+func (f *Flusher) Stop() {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		<-f.done
+		if f.file != nil {
+			_ = f.file.Close()
+		}
+	})
+}
+
+// tickLoop encodes one snapshot per interval into the bounded queue; a full
+// queue (stalled sink) drops the snapshot rather than blocking.
+func (f *Flusher) tickLoop() {
+	t := time.NewTicker(f.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			close(f.queue)
+			return
+		case now := <-t.C:
+			f.enqueue(now.UnixNano())
+		}
+	}
+}
+
+// enqueue serialises a snapshot and offers it to the queue.
+func (f *Flusher) enqueue(ts int64) {
+	line, err := json.Marshal(FlushRecord{TS: ts, Snapshot: f.reg.Snapshot()})
+	if err != nil {
+		f.errs.Inc()
+		return
+	}
+	line = append(line, '\n')
+	select {
+	case f.queue <- line:
+	default:
+		f.dropped.Inc()
+	}
+}
+
+// writeLoop drains the queue to the configured sink until the queue closes,
+// then signals done. Sink errors are counted, never fatal.
+func (f *Flusher) writeLoop() {
+	defer close(f.done)
+	for line := range f.queue {
+		if err := f.ship(line); err != nil {
+			f.errs.Inc()
+		} else {
+			f.flushed.Inc()
+		}
+	}
+}
+
+// ship writes one encoded snapshot line to the sink.
+func (f *Flusher) ship(line []byte) error {
+	switch {
+	case f.file != nil:
+		_, err := f.file.Write(line)
+		return err
+	case f.opts.Sink != nil:
+		_, err := f.opts.Sink.Write(line)
+		return err
+	default:
+		resp, err := f.opts.Client.Post(f.opts.URL, "application/x-ndjson", bytes.NewReader(line))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("obs: flush sink returned %s", resp.Status)
+		}
+		return nil
+	}
+}

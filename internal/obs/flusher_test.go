@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe io.Writer for sink assertions.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestFlusherOptionValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := NewFlusher(nil, FlusherOptions{Sink: &bytes.Buffer{}}); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := NewFlusher(r, FlusherOptions{}); err == nil {
+		t.Error("no sink accepted")
+	}
+	if _, err := NewFlusher(r, FlusherOptions{Path: "x", URL: "http://x"}); err == nil {
+		t.Error("two sinks accepted")
+	}
+}
+
+func TestFlusherWritesSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("work.items").Add(42)
+	r.Gauge("work.depth").Set(3)
+	var sink syncBuffer
+	f, err := NewFlusher(r, FlusherOptions{Interval: 2 * time.Millisecond, Sink: &sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for strings.Count(sink.String(), "\n") < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+	f.Stop() // idempotent
+
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("got %d flush lines, want ≥ 2", len(lines))
+	}
+	var prevTS int64
+	for i, line := range lines {
+		var rec FlushRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not a FlushRecord: %v\n%s", i, err, line)
+		}
+		if rec.TS <= prevTS {
+			t.Errorf("timestamps not increasing: %d then %d", prevTS, rec.TS)
+		}
+		prevTS = rec.TS
+		if rec.Counters["work.items"] != 42 {
+			t.Errorf("line %d counters = %v", i, rec.Counters)
+		}
+		if rec.Gauges["work.depth"] != 3 {
+			t.Errorf("line %d gauges = %v", i, rec.Gauges)
+		}
+	}
+	if r.Counter("obs.flush.flushed").Value() < 2 {
+		t.Errorf("obs.flush.flushed = %d, want ≥ 2", r.Counter("obs.flush.flushed").Value())
+	}
+}
+
+func TestFlusherFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	f, err := NewFlusher(r, FlusherOptions{Interval: 2 * time.Millisecond, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	time.Sleep(20 * time.Millisecond)
+	f.Stop()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lines := 0
+	for sc.Scan() {
+		var rec FlushRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad line: %v", err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no flush lines written to file")
+	}
+}
+
+func TestFlusherHTTPSink(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(req.Body)
+		mu.Lock()
+		bodies = append(bodies, b.String())
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	r := NewRegistry()
+	r.Counter("c").Add(9)
+	f, err := NewFlusher(r, FlusherOptions{Interval: 2 * time.Millisecond, URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(bodies)
+		mu.Unlock()
+		if n >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) == 0 {
+		t.Fatal("HTTP sink never received a flush")
+	}
+	var rec FlushRecord
+	if err := json.Unmarshal([]byte(bodies[0]), &rec); err != nil {
+		t.Fatalf("posted body is not a FlushRecord: %v", err)
+	}
+	if rec.Counters["c"] != 9 {
+		t.Errorf("posted counters = %v", rec.Counters)
+	}
+}
+
+// blockingWriter stalls until released, simulating a wedged sink.
+type blockingWriter struct{ release chan struct{} }
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	return len(p), nil
+}
+
+func TestFlusherDropsWhenSinkStalls(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	bw := &blockingWriter{release: make(chan struct{})}
+	f, err := NewFlusher(r, FlusherOptions{Interval: time.Millisecond, Buffer: 2, Sink: bw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Counter("obs.flush.dropped").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(bw.release) // unwedge so Stop can drain
+	f.Stop()
+	if r.Counter("obs.flush.dropped").Value() == 0 {
+		t.Error("stalled sink produced no drops")
+	}
+}
+
+func TestSeriesHandler(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("core.train.epoch.loss")
+	base := time.Now().UnixNano()
+	for i := 0; i < 3; i++ {
+		s.appendSample(base+int64(i), float64(10-i))
+	}
+
+	// Listing.
+	rec := httptest.NewRecorder()
+	SeriesHandler(r)(rec, httptest.NewRequest(http.MethodGet, "/debug/series", nil))
+	var list SeriesListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("listing not JSON: %v", err)
+	}
+	if len(list.Series) != 1 || list.Series[0].Name != "core.train.epoch.loss" ||
+		list.Series[0].Len != 3 || list.Series[0].Last != 8 {
+		t.Fatalf("listing = %+v", list)
+	}
+
+	// Query with an unknown name mixed in.
+	rec = httptest.NewRecorder()
+	SeriesHandler(r)(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/series?name=core.train.epoch.loss,missing&window=1h", nil))
+	var q SeriesQueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("query not JSON: %v", err)
+	}
+	if q.WindowSec != 3600 {
+		t.Errorf("WindowSec = %g", q.WindowSec)
+	}
+	got := q.Series["core.train.epoch.loss"]
+	if len(got.Samples) != 3 || got.Stats.Count != 3 || got.Stats.Max != 10 || got.Stats.Last != 8 {
+		t.Errorf("series data = %+v", got)
+	}
+	if m, ok := q.Series["missing"]; !ok || len(m.Samples) != 0 || m.Stats.Count != 0 {
+		t.Errorf("missing series should be empty, got %+v (ok=%v)", m, ok)
+	}
+
+	// Nil registry is probe-safe.
+	rec = httptest.NewRecorder()
+	SeriesHandler(nil)(rec, httptest.NewRequest(http.MethodGet, "/debug/series", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("nil registry status = %d", rec.Code)
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	freshRegistry(t)
+	rec := httptest.NewRecorder()
+	HealthHandler("collector")(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("health not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.Component != "collector" || !h.Obs {
+		t.Errorf("health = %+v", h)
+	}
+	if h.Version == "" || h.GoVersion == "" || h.UptimeSec < 0 {
+		t.Errorf("health missing build info: %+v", h)
+	}
+
+	Disable()
+	rec = httptest.NewRecorder()
+	HealthHandler("collector")(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	_ = json.Unmarshal(rec.Body.Bytes(), &h)
+	if h.Obs {
+		t.Error("health reports obs enabled after Disable")
+	}
+}
+
+func TestMountServesSeriesAndProm(t *testing.T) {
+	freshRegistry(t)
+	C("mounted.c").Add(2)
+	S("mounted.series").Append(1)
+	mux := http.NewServeMux()
+	Mount(mux)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypePrometheus {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "mounted_c_total 2\n") {
+		t.Errorf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/series?name=mounted.series", nil))
+	var q SeriesQueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("/debug/series not JSON: %v", err)
+	}
+	if len(q.Series["mounted.series"].Samples) != 1 {
+		t.Errorf("/debug/series = %+v", q)
+	}
+}

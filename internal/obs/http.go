@@ -1,6 +1,7 @@
-// HTTP debug surfaces: the /debug/metrics JSON endpoint, net/http/pprof
-// wiring, and the access-log middleware shared by the model server and the
-// collector.
+// HTTP debug surfaces: the /debug/metrics JSON endpoint, the /metrics
+// Prometheus exposition, the /debug/series ring-buffer history endpoint,
+// net/http/pprof wiring, health reporting with build info, and the
+// access-log middleware shared by the model server and the collector.
 
 package obs
 
@@ -11,6 +12,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -29,20 +34,161 @@ func MetricsHandler(reg *Registry) http.HandlerFunc {
 
 // Mount attaches the debug surface to a mux:
 //
+//	GET /metrics              Prometheus text exposition (v0.0.4)
 //	GET /debug/metrics        registry snapshot (JSON)
+//	GET /debug/series         ring-buffer time series (JSON)
 //	GET /debug/pprof/...      net/http/pprof profiles
 //
-// The metrics endpoint resolves the process registry per request, so a
-// registry enabled after Mount is still picked up.
+// Every endpoint resolves the process registry per request, so a registry
+// enabled after Mount is still picked up.
 func Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		PromHandler(Global())(w, r)
+	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		MetricsHandler(Global())(w, r)
+	})
+	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+		SeriesHandler(Global())(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// SeriesData is the JSON view of one series in a /debug/series response.
+type SeriesData struct {
+	Name    string      `json:"name"`
+	Samples []Sample    `json:"samples"`
+	Stats   SeriesStats `json:"stats"`
+}
+
+// SeriesInfo is one entry of the /debug/series listing.
+type SeriesInfo struct {
+	Name   string  `json:"name"`
+	Len    int     `json:"len"`
+	Last   float64 `json:"last"`
+	LastTS int64   `json:"lastTs"`
+}
+
+// SeriesListResponse is the /debug/series response without a name filter.
+type SeriesListResponse struct {
+	Series []SeriesInfo `json:"series"`
+}
+
+// SeriesQueryResponse is the /debug/series response for named series.
+type SeriesQueryResponse struct {
+	WindowSec float64               `json:"windowSec"`
+	Series    map[string]SeriesData `json:"series"`
+}
+
+// SeriesHandler serves ring-buffer history:
+//
+//	GET /debug/series                     list registered series
+//	GET /debug/series?name=a,b&window=5m  samples + stats per named series
+//
+// window accepts a Go duration ("90s", "5m"); empty or invalid means the
+// whole ring. Unknown names come back with zero samples rather than 404 —
+// a watcher can start polling before the first emission. A nil registry
+// serves empty responses, so the endpoint is probe-safe when disabled.
+func SeriesHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		names := r.URL.Query().Get("name")
+		if names == "" {
+			resp := SeriesListResponse{Series: []SeriesInfo{}}
+			for _, name := range reg.SeriesNames() {
+				s := reg.LookupSeries(name)
+				info := SeriesInfo{Name: name, Len: s.Len()}
+				if last, ok := s.Last(); ok {
+					info.Last, info.LastTS = last.V, last.TS
+				}
+				resp.Series = append(resp.Series, info)
+			}
+			writeJSON(w, resp)
+			return
+		}
+		var window time.Duration
+		if raw := r.URL.Query().Get("window"); raw != "" {
+			if d, err := time.ParseDuration(raw); err == nil && d > 0 {
+				window = d
+			}
+		}
+		resp := SeriesQueryResponse{WindowSec: window.Seconds(), Series: map[string]SeriesData{}}
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			s := reg.LookupSeries(name)
+			data := SeriesData{Name: name, Samples: s.Samples(window), Stats: s.Stats(window)}
+			if data.Samples == nil {
+				data.Samples = []Sample{}
+			}
+			resp.Series[name] = data
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// --- Health ----------------------------------------------------------------
+
+// Version is the build version string reported by health endpoints; a
+// release build can override it via -ldflags "-X .../obs.Version=v1.2.3".
+var Version = "dev"
+
+// buildRevision resolves the VCS revision once from debug build info.
+var buildRevision = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+})
+
+// Health is the JSON body of a component health response.
+type Health struct {
+	Status    string  `json:"status"`
+	Component string  `json:"component"`
+	Version   string  `json:"version"`
+	GoVersion string  `json:"goVersion"`
+	Revision  string  `json:"revision,omitempty"`
+	Obs       bool    `json:"obs"`
+	UptimeSec float64 `json:"uptimeSec"`
+}
+
+// HealthHandler serves the component's liveness with version/build info and
+// whether observability is enabled — the fields an operator (or a fleet
+// health checker) needs to tell which build answered.
+func HealthHandler(component string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Health{
+			Status:    "ok",
+			Component: component,
+			Version:   Version,
+			GoVersion: runtime.Version(),
+			Revision:  buildRevision(),
+			Obs:       Global() != nil,
+			UptimeSec: time.Since(procStart).Seconds(),
+		})
+	}
 }
 
 // reqSeq numbers generated request IDs; reqEpoch makes IDs unique across

@@ -323,6 +323,16 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// series live in their own namespace with an independent lock so the
+	// sampler can create series while holding no metric locks (see series.go).
+	seriesMu sync.RWMutex
+	series   map[string]*Series
+
+	// collectors refresh derived gauges (runtime stats) right before a
+	// snapshot, exposition or sampler sweep reads the registry.
+	collectorsMu sync.Mutex
+	collectors   []func(*Registry)
 }
 
 // NewRegistry creates an empty registry.
@@ -331,6 +341,33 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		series:   map[string]*Series{},
+	}
+}
+
+// RegisterCollector installs fn to run before every Snapshot, Prometheus
+// exposition and sampler sweep — the hook that keeps pull-model gauges
+// (goroutine count, heap size) current without a background goroutine.
+func (r *Registry) RegisterCollector(fn func(*Registry)) {
+	if r == nil {
+		return
+	}
+	r.collectorsMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collectorsMu.Unlock()
+}
+
+// collect runs the registered collector hooks. Hooks run outside the metric
+// lock (they set gauges through the normal get-or-create path).
+func (r *Registry) collect() {
+	if r == nil {
+		return
+	}
+	r.collectorsMu.Lock()
+	fns := r.collectors
+	r.collectorsMu.Unlock()
+	for _, fn := range fns {
+		fn(r)
 	}
 }
 
@@ -435,6 +472,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
+	r.collect()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
@@ -481,6 +519,9 @@ func init() {
 
 // Enable installs (or returns the existing) process-wide registry. Call it
 // at process start, before instrumented components fetch their handles.
+// The fresh registry gets the runtime gauges auto-registered, and when the
+// SLEUTH_OBS_SAMPLE environment knob is set the process-wide sampler starts
+// at that interval.
 func Enable() *Registry {
 	for {
 		if r := global.Load(); r != nil {
@@ -488,15 +529,28 @@ func Enable() *Registry {
 		}
 		r := NewRegistry()
 		if global.CompareAndSwap(nil, r) {
+			registerRuntimeGauges(r)
+			if iv := EnvSampleInterval(0); iv > 0 {
+				samplerMu.Lock()
+				if globalSampler == nil {
+					globalSampler = NewSampler(r, iv)
+					globalSampler.Start()
+				}
+				samplerMu.Unlock()
+			}
 			return r
 		}
 	}
 }
 
-// Disable removes the process-wide registry; handles fetched afterwards are
-// nil no-ops. Handles fetched earlier keep recording into the detached
-// registry — intended for tests, not mid-flight toggling.
-func Disable() { global.Store(nil) }
+// Disable removes the process-wide registry (stopping its sampler, if any);
+// handles fetched afterwards are nil no-ops. Handles fetched earlier keep
+// recording into the detached registry — intended for tests, not mid-flight
+// toggling.
+func Disable() {
+	StopSampler()
+	global.Store(nil)
+}
 
 // Global returns the process-wide registry, or nil when disabled.
 func Global() *Registry { return global.Load() }

@@ -79,8 +79,8 @@ func TestHistogramBucketPlacement(t *testing.T) {
 		v    float64
 		want int
 	}{
-		{0.05, 0},                // below the lowest bound → underflow bucket
-		{0.1, 0},                 // exactly the lowest bound
+		{0.05, 0},                  // below the lowest bound → underflow bucket
+		{0.1, 0},                   // exactly the lowest bound
 		{1, 1 * bucketsPerDecade},  // 10^0
 		{10, 2 * bucketsPerDecade}, // 10^1
 		{1e6, 7 * bucketsPerDecade},

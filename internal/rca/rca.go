@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
 	"github.com/sleuth-rca/sleuth/internal/obs"
@@ -234,11 +235,27 @@ func (l *Localizer) LocalizeBatch(traces []*trace.Trace, sloMicros []float64, wo
 }
 
 // LocalizeDetailed runs the full §3.5 loop and returns instance mappings.
+// The wrapper records per-query telemetry series (wall-clock latency and
+// candidate-set size); the histogram in the inner loop keeps its quantiles.
 func (l *Localizer) LocalizeDetailed(tr *trace.Trace, sloMicros float64) Result {
+	latSeries := obs.S("rca.localize.latency_us")
+	var start time.Time
+	if latSeries != nil {
+		start = time.Now()
+	}
+	res := l.localizeDetailed(tr, sloMicros)
+	if latSeries != nil {
+		latSeries.Append(float64(time.Since(start).Microseconds()))
+	}
+	return res
+}
+
+func (l *Localizer) localizeDetailed(tr *trace.Trace, sloMicros float64) Result {
 	timer := obs.H("rca.localize_us").Start()
 	obs.C("rca.localizations").Inc()
 	cfCtr := obs.C("rca.counterfactuals")
 	cands := l.Candidates(tr)
+	obs.S("rca.localize.candidates").Append(float64(len(cands)))
 	if len(cands) == 0 {
 		timer.Stop()
 		return Result{}

@@ -99,14 +99,14 @@ func (t *Tensor) backBinary() {
 	}
 }
 
-func fAdd(x, y float64) float64                { return x + y }
-func dAdd(x, y float64) (float64, float64)     { return 1, 1 }
-func fSub(x, y float64) float64                { return x - y }
-func dSub(x, y float64) (float64, float64)     { return 1, -1 }
-func fMulBin(x, y float64) float64             { return x * y }
-func dMulBin(x, y float64) (float64, float64)  { return y, x }
-func fDivBin(x, y float64) float64             { return x / y }
-func dDivBin(x, y float64) (float64, float64)  { return 1 / y, -x / (y * y) }
+func fAdd(x, y float64) float64               { return x + y }
+func dAdd(x, y float64) (float64, float64)    { return 1, 1 }
+func fSub(x, y float64) float64               { return x - y }
+func dSub(x, y float64) (float64, float64)    { return 1, -1 }
+func fMulBin(x, y float64) float64            { return x * y }
+func dMulBin(x, y float64) (float64, float64) { return y, x }
+func fDivBin(x, y float64) float64            { return x / y }
+func dDivBin(x, y float64) (float64, float64) { return 1 / y, -x / (y * y) }
 
 // Add returns a + b (b may be a row vector or scalar; broadcast).
 func Add(a, b *Tensor) *Tensor { return binaryOp(a, b, fAdd, dAdd) }
@@ -140,13 +140,13 @@ func unaryOpIn(ar *Arena, a *Tensor, ffn func(x, c1, c2 float64) float64, dfn fu
 	return out
 }
 
-func fNeg(x, _, _ float64) float64        { return -x }
-func dNegOne(_, _, _, _ float64) float64  { return -1 }
-func fAddS(x, c, _ float64) float64       { return x + c }
-func dOne(_, _, _, _ float64) float64     { return 1 }
-func fMulS(x, c, _ float64) float64       { return x * c }
-func dC1(_, _, c, _ float64) float64      { return c }
-func fReLU(x, _, _ float64) float64       { return math.Max(x, 0) }
+func fNeg(x, _, _ float64) float64       { return -x }
+func dNegOne(_, _, _, _ float64) float64 { return -1 }
+func fAddS(x, c, _ float64) float64      { return x + c }
+func dOne(_, _, _, _ float64) float64    { return 1 }
+func fMulS(x, c, _ float64) float64      { return x * c }
+func dC1(_, _, c, _ float64) float64     { return c }
+func fReLU(x, _, _ float64) float64      { return math.Max(x, 0) }
 func dReLU(x, _, _, _ float64) float64 {
 	if x > 0 {
 		return 1
@@ -174,13 +174,13 @@ func dExp(_, y, _, _ float64) float64     { return y }
 
 const logEps = 1e-12
 
-func fLog(x, _, _ float64) float64     { return math.Log(math.Max(x, logEps)) }
-func dLog(x, _, _, _ float64) float64  { return 1 / math.Max(x, logEps) }
-func fSquare(x, _, _ float64) float64  { return x * x }
+func fLog(x, _, _ float64) float64       { return math.Log(math.Max(x, logEps)) }
+func dLog(x, _, _, _ float64) float64    { return 1 / math.Max(x, logEps) }
+func fSquare(x, _, _ float64) float64    { return x * x }
 func dSquare(x, _, _, _ float64) float64 { return 2 * x }
-func fPow10(x, _, _ float64) float64   { return math.Pow(10, x) }
-func dPow10(_, y, _, _ float64) float64 { return y * math.Ln10 }
-func fLog10(x, _, _ float64) float64   { return math.Log10(math.Max(x, logEps)) }
+func fPow10(x, _, _ float64) float64     { return math.Pow(10, x) }
+func dPow10(_, y, _, _ float64) float64  { return y * math.Ln10 }
+func fLog10(x, _, _ float64) float64     { return math.Log10(math.Max(x, logEps)) }
 func dLog10(x, _, _, _ float64) float64 {
 	return 1 / (math.Max(x, logEps) * math.Ln10)
 }
