@@ -31,11 +31,13 @@ fmt:
 verify: fmt vet build race alloc obs-overhead
 
 # alloc runs the allocation-regression guards without the race detector:
-# the steady-state training step must allocate (essentially) nothing and
-# the per-trace predict cost must stay a small constant. These tests
-# auto-skip under -race, so `make race` alone would never exercise them.
+# the steady-state training step must allocate (essentially) nothing, the
+# per-trace predict cost must stay a small constant, and the clustering
+# engine's steady-state kernels (Eq. 1 merge, bounded-heap row selection,
+# packed-matrix access) must not allocate per call. These tests auto-skip
+# under -race, so `make race` alone would never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -50,9 +52,10 @@ bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # bench-compare re-measures the hot paths (training step, pairwise distance
-# matrix, batched inference) and prints ns/op, B/op and allocs/op deltas
-# against the committed baselines in $(BENCHOUT) — the regression gate for
-# the zero-allocation training work.
+# matrix, batched inference, HDBSCAN clustering pipeline) and prints ns/op,
+# B/op and allocs/op deltas against the committed baselines in $(BENCHOUT)
+# — the regression gate for the zero-allocation training work and the
+# scale-out clustering engine.
 bench-compare:
 	$(GO) run ./cmd/benchrunner -exp hot -baseline $(BENCHOUT)
 

@@ -13,8 +13,9 @@
 //	benchrunner -exp train -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 instances
-// ablation, plus the hot-path trio train/pairwise/predict-batch ("hot"
-// selects all three).
+// ablation, plus the hot paths train/pairwise/predict-batch/hdbscan
+// ("hot" selects all four; "cluster" is shorthand for the hdbscan
+// clustering-pipeline experiment).
 //
 // With -benchout, every experiment additionally writes a machine-readable
 // BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
@@ -134,13 +135,15 @@ func main() {
 	for _, e := range strings.Split(*expFlag, ",") {
 		switch e = strings.TrimSpace(e); e {
 		case "all":
-			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch"} {
+			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan"} {
 				selected[x] = true
 			}
 		case "hot":
-			for _, x := range []string{"train", "pairwise", "predict-batch"} {
+			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan"} {
 				selected[x] = true
 			}
+		case "cluster":
+			selected["hdbscan"] = true
 		default:
 			selected[e] = true
 		}
@@ -337,6 +340,21 @@ func main() {
 		}
 		sets := cluster.TraceSets(traces, cluster.DefaultMaxAncestors)
 		return func() { _ = cluster.Pairwise(sets) }, nil
+	})
+	runHot("hdbscan", "HDBSCAN pipeline: core distances + MST + condense + select + medoids (2048 traces)", 3, func() (func(), error) {
+		app := sleuth.NewSyntheticApp(64, *seed)
+		world := sleuth.NewWorld(app, *seed)
+		traces, err := world.SimulateNormal(2048)
+		if err != nil {
+			return nil, err
+		}
+		sets := cluster.TraceSets(traces, cluster.DefaultMaxAncestors)
+		m := cluster.Pairwise(sets)
+		opts := cluster.DefaultOptions()
+		return func() {
+			labels := cluster.HDBSCAN(m, opts)
+			_ = cluster.Medoids(m, labels)
+		}, nil
 	})
 	runHot("predict-batch", "batched inference (256 traces, GOMAXPROCS workers)", 5, func() (func(), error) {
 		app := sleuth.NewSyntheticApp(64, *seed)

@@ -286,6 +286,7 @@ func cmdCluster(args []string) error {
 	minSamples := fs.Int("min-samples", 2, "HDBSCAN min samples")
 	eps := fs.Float64("epsilon", 0.1, "HDBSCAN selection epsilon")
 	dmax := fs.Int("dmax", cluster.DefaultMaxAncestors, "ancestor window of span identifiers")
+	timing := fs.Bool("timing", false, "print per-stage wall clock (pairwise / hdbscan / medoids)")
 	_ = fs.Parse(args)
 	if *tracesPath == "" {
 		return fmt.Errorf("cluster: -traces is required")
@@ -294,12 +295,22 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	sets := cluster.TraceSets(traces, *dmax)
 	m := cluster.Pairwise(sets)
+	pairwiseDone := time.Now()
 	labels := cluster.HDBSCAN(m, cluster.Options{
 		MinClusterSize: *minSize, MinSamples: *minSamples, SelectionEpsilon: *eps,
 	})
+	hdbscanDone := time.Now()
 	medoids := cluster.Medoids(m, labels)
+	if *timing {
+		fmt.Printf("timing: sets+pairwise=%s hdbscan=%s medoids=%s matrix=%dB\n",
+			pairwiseDone.Sub(start).Round(time.Microsecond),
+			hdbscanDone.Sub(pairwiseDone).Round(time.Microsecond),
+			time.Since(hdbscanDone).Round(time.Microsecond),
+			m.Bytes())
+	}
 	fmt.Printf("clustered %d traces: %s\n", len(traces), cluster.Summary(labels))
 	var ids []int
 	for l := range medoids {

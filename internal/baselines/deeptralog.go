@@ -122,6 +122,9 @@ func (d *DeepTraLog) SVDDScore(tr *trace.Trace) float64 {
 
 // Distances returns the pairwise Euclidean distance matrix of trace
 // embeddings — the drop-in alternative to the Eq. 1 metric in Table 3.
+// The matrix is cluster.Matrix's packed upper triangle, so only the i<j
+// half is computed or stored; symmetry comes from the layout, not from a
+// mirrored second write.
 func (d *DeepTraLog) Distances(traces []*trace.Trace) *cluster.Matrix {
 	embs := make([][]float64, len(traces))
 	for i, tr := range traces {

@@ -1,0 +1,27 @@
+package cluster
+
+import "testing"
+
+// TestClusterSteadyStateAllocs gates the clustering engine's steady-state
+// kernels (`make alloc`): the Eq. 1 merge, the bounded-heap row selection,
+// and packed-matrix access must not allocate per call — at 50k-trace
+// incident scale these run billions of times per batch, and any per-call
+// allocation would put the GC back on the clustering critical path.
+func TestClusterSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	sets := randomSets(64, 1)
+	a, b := sets[0], sets[1]
+	if n := testing.AllocsPerRun(200, func() { _ = Distance(a, b) }); n != 0 {
+		t.Fatalf("Distance allocates %.1f per call, want 0", n)
+	}
+	m := Pairwise(sets)
+	scratch := make([]float64, 0, 6)
+	if n := testing.AllocsPerRun(200, func() { _ = kthNearest(m, 7, 5, scratch) }); n != 0 {
+		t.Fatalf("kthNearest allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.Set(3, 9, m.At(9, 3)) }); n != 0 {
+		t.Fatalf("Matrix At/Set allocate %.1f per call, want 0", n)
+	}
+}

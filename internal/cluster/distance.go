@@ -8,7 +8,6 @@ package cluster
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -63,11 +62,28 @@ func (in *Interner) Size() int {
 // order would make the last-ulp float sums — and therefore clustering —
 // nondeterministic across runs). Sets are only comparable when built
 // against the same Interner; Distance enforces this.
+//
+// Constructors cache the set's mass (Σ weights); Distance uses the cached
+// masses both for its O(1) short-circuits and to reconstruct the union
+// term of Eq. 1 without accumulating it in the merge. Mutating W after
+// construction would make the cache stale — build a fresh set instead.
 type WeightedSet struct {
 	IDs []int32
 	W   []float64
 
-	vocab *Interner
+	mass    float64
+	hasMass bool
+	vocab   *Interner
+}
+
+// sum adds weights in slice order (the fixed, ID-sorted order every
+// constructor stores), so cached masses are reproducible bit-for-bit.
+func sum(w []float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	return total
 }
 
 // SetFromMap builds a WeightedSet from an identifier → weight map, interning
@@ -96,19 +112,18 @@ func SetFromMap(in *Interner, m map[string]float64) WeightedSet {
 		outIDs[i] = ids[j]
 		w[i] = m[keys[j]]
 	}
-	return WeightedSet{IDs: outIDs, W: w, vocab: in}
+	return WeightedSet{IDs: outIDs, W: w, mass: sum(w), hasMass: true, vocab: in}
 }
 
 // Len returns the number of distinct identifiers.
 func (s WeightedSet) Len() int { return len(s.IDs) }
 
-// Mass returns |S| = Σ weights.
+// Mass returns |S| = Σ weights (cached at construction).
 func (s WeightedSet) Mass() float64 {
-	total := 0.0
-	for _, w := range s.W {
-		total += w
+	if s.hasMass {
+		return s.mass
 	}
-	return total
+	return sum(s.W)
 }
 
 // SpanIdentifier builds the §3.3.1 element identifier for span i of tr: a
@@ -158,7 +173,7 @@ func TraceSet(in *Interner, tr *trace.Trace, dmax int) WeightedSet {
 	for i, id := range ids {
 		w[i] = m[id]
 	}
-	return WeightedSet{IDs: ids, W: w, vocab: in}
+	return WeightedSet{IDs: ids, W: w, mass: sum(w), hasMass: true, vocab: in}
 }
 
 // Distance computes the extended weighted Jaccard distance of Eq. 1:
@@ -171,10 +186,70 @@ func TraceSet(in *Interner, tr *trace.Trace, dmax int) WeightedSet {
 // identifier strings. Both sets must come from the same Interner — IDs from
 // different vocabularies name different identifiers, so comparing them would
 // silently return garbage; Distance panics instead.
+//
+// The cached masses drive two optimisations. First, the mass bound
+// Σmin ≤ min(|A|,|B|) gives d ≥ 1 − min(|A|,|B|)/max(|A|,|B|); when the
+// bound alone decides the value — one mass is zero (bound says d ≥ 1, and
+// d ≤ 1 always) or the ID ranges cannot overlap (Σmin is exactly 0) — the
+// merge is skipped outright and the exact value returned. Second, the
+// identity Σmax = |A| + |B| − Σmin lets the merge accumulate only the
+// intersection term: non-matching elements cost a bare ID compare, and the
+// loop stops the moment either set is exhausted instead of draining the
+// other's tail. The exactness guard: both fast paths require trustworthy
+// cached masses, so sets built by hand (no constructor, hasMass unset)
+// take the classic full merge and the matrix stays exact either way.
 func Distance(a, b WeightedSet) float64 {
 	if a.vocab != b.vocab && a.vocab != nil && b.vocab != nil {
 		panic("cluster: Distance across sets from different Interner vocabularies")
 	}
+	if !a.hasMass || !b.hasMass {
+		return distanceFull(a, b)
+	}
+	la, lb := len(a.IDs), len(b.IDs)
+	ma, mb := a.mass, b.mass
+	switch {
+	case ma == 0 && mb == 0:
+		// Union mass is zero: identical up to weightless elements.
+		return 0
+	case ma == 0 || mb == 0:
+		// Mass bound decides: Σmin ≤ min(|A|,|B|) = 0 while Σmax > 0.
+		return 1
+	case a.IDs[la-1] < b.IDs[0] || b.IDs[lb-1] < a.IDs[0]:
+		// Disjoint ID ranges: Σmin is exactly 0, so d = 1.
+		return 1
+	}
+	interMin := 0.0
+	i, j := 0, 0
+	for i < la && j < lb {
+		ai, bj := a.IDs[i], b.IDs[j]
+		switch {
+		case ai == bj:
+			if wa, wb := a.W[i], b.W[j]; wa < wb {
+				interMin += wa
+			} else {
+				interMin += wb
+			}
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	union := ma + mb - interMin
+	if union <= 0 {
+		return 0
+	}
+	if d := 1 - interMin/union; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// distanceFull is the reference Eq. 1 merge: both accumulators, no cached
+// masses. It backs Distance's exactness guard and the equivalence tests.
+func distanceFull(a, b WeightedSet) float64 {
 	if a.Len() == 0 && b.Len() == 0 {
 		return 0
 	}
@@ -214,31 +289,14 @@ func Distance(a, b WeightedSet) float64 {
 	return 1 - interMin/unionMax
 }
 
-// Matrix is a symmetric distance matrix.
-type Matrix struct {
-	N int
-	d []float64
-}
-
-// NewMatrix allocates an N×N zero matrix.
-func NewMatrix(n int) *Matrix { return &Matrix{N: n, d: make([]float64, n*n)} }
-
-// At returns the distance between i and j.
-func (m *Matrix) At(i, j int) float64 { return m.d[i*m.N+j] }
-
-// Set assigns the symmetric distance between i and j.
-func (m *Matrix) Set(i, j int, v float64) {
-	m.d[i*m.N+j] = v
-	m.d[j*m.N+i] = v
-}
-
 // Pairwise computes the full distance matrix over trace sets in parallel.
 //
-// Only the upper triangle is computed, so row i costs n-i-1 distance calls:
-// handing out bare rows would leave the tail workers idle while whoever drew
-// row 0 finishes (triangular load imbalance). Work items therefore pair row
-// i with its mirror row n-1-i — every item costs ~n-1 calls, so per-item
-// cost is near-uniform and workers drain the queue evenly.
+// Only the upper triangle is computed (and, with the packed Matrix layout,
+// stored), so row i costs n-i-1 distance calls: handing out bare rows would
+// leave the tail workers idle while whoever drew row 0 finishes (triangular
+// load imbalance). Work items therefore pair row i with its mirror row
+// n-1-i — every item costs ~n-1 calls, so per-item cost is near-uniform and
+// workers drain the queue evenly.
 func Pairwise(sets []WeightedSet) *Matrix {
 	n := len(sets)
 	timer := obs.H("cluster.pairwise_us").Start()
@@ -255,16 +313,14 @@ func Pairwise(sets []WeightedSet) *Matrix {
 		}()
 	}
 	m := NewMatrix(n)
+	obs.S("cluster.matrix_bytes").Append(float64(m.Bytes()))
 	fillRow := func(i int) {
 		for j := i + 1; j < n; j++ {
 			m.Set(i, j, Distance(sets[i], sets[j]))
 		}
 	}
 	nItems := (n + 1) / 2
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nItems {
-		workers = nItems
-	}
+	workers := clusterWorkers(nItems)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fillRow(i)
@@ -307,29 +363,15 @@ func TraceSets(traces []*trace.Trace, dmax int) []WeightedSet {
 
 // Medoids returns, for every cluster label (≥ 0), the index of its
 // geometric median: the member minimising the sum of distances to all
-// other members (§3.3.2's cluster representative).
+// other members (§3.3.2's cluster representative). Clusters are scored in
+// parallel — large ones split across members too — with the same
+// tie-breaking as a serial scan (lowest member index wins), so the result
+// is identical for any worker count.
 func Medoids(m *Matrix, labels []int) map[int]int {
-	members := make(map[int][]int)
-	for i, l := range labels {
-		if l >= 0 {
-			members[l] = append(members[l], i)
-		}
-	}
-	out := make(map[int]int, len(members))
-	for l, idx := range members {
-		best, bestSum := idx[0], -1.0
-		for _, i := range idx {
-			sum := 0.0
-			for _, j := range idx {
-				sum += m.At(i, j)
-			}
-			if bestSum < 0 || sum < bestSum {
-				best, bestSum = i, sum
-			}
-		}
-		out[l] = best
-	}
-	return out
+	done := stageTimer("cluster.medoids_us")
+	defer done()
+	obs.C("cluster.medoids_calls").Inc()
+	return medoids(m, labels, clusterWorkers(len(labels)))
 }
 
 // Summary renders cluster sizes for logs.

@@ -66,8 +66,14 @@ func DefaultOptions() Options {
 // per point; -1 marks noise. The implementation follows the standard
 // pipeline: core distances → mutual reachability → MST (Prim) → single-
 // linkage dendrogram → condensed tree (min cluster size) → stability-based
-// selection with the epsilon threshold.
+// selection with the epsilon threshold. The core-distance and MST stages
+// run on the parallel kernels of parallel.go and record per-stage
+// histograms and series (cluster.core_distances_us, cluster.mst_us);
+// labels are bit-identical for any GOMAXPROCS.
 func HDBSCAN(m *Matrix, opts Options) []int {
+	timer := obs.H("cluster.hdbscan_us").Start()
+	defer timer.Stop()
+	obs.C("cluster.hdbscan_calls").Inc()
 	n := m.N
 	labels := make([]int, n)
 	for i := range labels {
@@ -97,68 +103,16 @@ func HDBSCAN(m *Matrix, opts Options) []int {
 	return labels
 }
 
-// coreDistances returns each point's distance to its k-th nearest
-// neighbour (k = minSamples, counting the point itself as distance 0).
-func coreDistances(m *Matrix, minSamples int) []float64 {
-	n := m.N
-	out := make([]float64, n)
-	buf := make([]float64, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			buf[j] = m.At(i, j)
-		}
-		sort.Float64s(buf)
-		k := minSamples
-		if k >= n {
-			k = n - 1
-		}
-		out[i] = buf[k]
-	}
-	return out
-}
-
 type edge struct {
 	a, b int
 	w    float64
 }
 
-// mstEdges builds the minimum spanning tree of the mutual-reachability
-// graph with Prim's algorithm in O(n²).
-func mstEdges(m *Matrix, core []float64) []edge {
-	n := m.N
-	inTree := make([]bool, n)
-	dist := make([]float64, n)
-	from := make([]int, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[0] = 0
-	from[0] = -1
-	var edges []edge
-	for iter := 0; iter < n; iter++ {
-		best := -1
-		for i := 0; i < n; i++ {
-			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
-				best = i
-			}
-		}
-		inTree[best] = true
-		if from[best] >= 0 {
-			edges = append(edges, edge{a: from[best], b: best, w: dist[best]})
-		}
-		for i := 0; i < n; i++ {
-			if inTree[i] {
-				continue
-			}
-			mr := mutualReach(m, core, best, i)
-			if mr < dist[i] {
-				dist[i] = mr
-				from[i] = best
-			}
-		}
-	}
+// sortEdges orders MST edges by weight for the single-linkage sweep. The
+// input order is deterministic (tree-construction order, identical for
+// any worker count), so equal-weight edges always land the same way.
+func sortEdges(edges []edge) {
 	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
-	return edges
 }
 
 func mutualReach(m *Matrix, core []float64, a, b int) float64 {
@@ -246,16 +200,26 @@ func condense(dendro []dendroNode, n, mcs int) []*condensedCluster {
 		}
 		return dendro[id-n].size
 	}
-	// collectPoints appends all leaf points of dendro node id.
-	var collectPoints func(id int, out *[]int)
-	collectPoints = func(id int, out *[]int) {
-		if id < n {
-			*out = append(*out, id)
-			return
+	// collectPoints appends all leaf points of dendro node id, in the same
+	// left-then-right DFS order a recursive walk would produce (stability
+	// sums add point exit terms in this order, so it must stay fixed). The
+	// walk is iterative over a reused stack: a degenerate chain-shaped
+	// dendrogram — large n with near-uniform distances — is O(n) deep, and
+	// recursing that far would blow the goroutine stack.
+	var walk []int
+	collectPoints := func(id int, out *[]int) {
+		walk = append(walk[:0], id)
+		for len(walk) > 0 {
+			id := walk[len(walk)-1]
+			walk = walk[:len(walk)-1]
+			if id < n {
+				*out = append(*out, id)
+				continue
+			}
+			nd := dendro[id-n]
+			// Right below left so the left subtree pops first.
+			walk = append(walk, nd.right, nd.left)
 		}
-		nd := dendro[id-n]
-		collectPoints(nd.left, out)
-		collectPoints(nd.right, out)
 	}
 
 	type frame struct {
@@ -439,8 +403,14 @@ func labelPoints(clusters []*condensedCluster, selected map[int]bool, n int) []i
 }
 
 // DBSCAN is the classic density clustering named in the paper's overview
-// (§3.1); HDBSCAN supersedes it in §3.3.2 but both are provided.
+// (§3.1); HDBSCAN supersedes it in §3.3.2 but both are provided. It
+// carries the same observability as HDBSCAN and Pairwise: a latency
+// histogram, a calls counter, and the cluster-shape series — all emitted
+// inside the timed window.
 func DBSCAN(m *Matrix, eps float64, minPts int) []int {
+	timer := obs.H("cluster.dbscan_us").Start()
+	defer timer.Stop()
+	obs.C("cluster.dbscan_calls").Inc()
 	n := m.N
 	labels := make([]int, n)
 	const (

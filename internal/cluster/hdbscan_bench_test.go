@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHDBSCAN measures the full clustering pipeline — core distances
+// (bounded-heap selection), parallel Prim MST, condense, stability
+// selection — plus medoid election, at the incident sizes the scale-out
+// work targets. Compare against BenchmarkHDBSCANSerialBaseline for the
+// speedup over the pre-PR serial implementation; labels are identical
+// (TestHDBSCANMatchesSerialReference).
+func BenchmarkHDBSCAN(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		sets := randomSets(n, uint64(n))
+		m := Pairwise(sets)
+		opts := DefaultOptions()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				labels := HDBSCAN(m, opts)
+				_ = Medoids(m, labels)
+			}
+		})
+	}
+}
+
+// BenchmarkHDBSCANSerialBaseline is the pre-PR pipeline: full-sort core
+// distances (O(n² log n)), serial Prim, serial medoids.
+func BenchmarkHDBSCANSerialBaseline(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		sets := randomSets(n, uint64(n))
+		m := Pairwise(sets)
+		opts := DefaultOptions()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				labels := hdbscanSerialReference(m, opts)
+				_ = medoidsRef(m, labels)
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+// denseRef is the pre-packed-layout reference: a full n×n array with both
+// mirror cells written on every Set.
+type denseRef struct {
+	n int
+	d []float64
+}
+
+func newDenseRef(n int) *denseRef { return &denseRef{n: n, d: make([]float64, n*n)} }
+
+func (m *denseRef) At(i, j int) float64 { return m.d[i*m.n+j] }
+
+func (m *denseRef) Set(i, j int, v float64) {
+	m.d[i*m.n+j] = v
+	m.d[j*m.n+i] = v
+}
+
+// TestMatrixPackedMatchesDense drives the packed matrix and the dense
+// reference through the same randomized Set sequence — mixed argument
+// orders, overwrites, diagonal writes — and requires every At cell to be
+// bit-identical afterwards.
+func TestMatrixPackedMatchesDense(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 33} {
+		rng := xrand.New(uint64(1000 + n))
+		packed := NewMatrix(n)
+		dense := newDenseRef(n)
+		for op := 0; op < 4*n*n; op++ {
+			i, j := rng.Intn(max(n, 1)), rng.Intn(max(n, 1))
+			if n == 0 {
+				break
+			}
+			v := rng.Float64()
+			if i == j {
+				// Diagonal of a distance matrix is identically zero; the
+				// packed Set must be a no-op and the dense one writes 0.
+				packed.Set(i, j, v)
+				dense.Set(i, j, 0)
+				continue
+			}
+			packed.Set(i, j, v)
+			dense.Set(i, j, v)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got, want := packed.At(i, j), dense.At(i, j); got != want {
+					t.Fatalf("n=%d: At(%d,%d) = %v, dense reference %v", n, i, j, got, want)
+				}
+			}
+		}
+		if want := n * (n - 1) / 2 * 8; packed.Bytes() != want {
+			t.Fatalf("n=%d: Bytes() = %d, want %d (packed triangle)", n, packed.Bytes(), want)
+		}
+	}
+}
+
+func TestMatrixDiagonalPinnedAtZero(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(2, 2, 7)
+	if m.At(2, 2) != 0 {
+		t.Fatalf("diagonal writable: At(2,2) = %v", m.At(2, 2))
+	}
+	m.Set(1, 3, 0.25)
+	if m.At(1, 3) != 0.25 || m.At(3, 1) != 0.25 {
+		t.Fatalf("symmetric read broken: %v / %v", m.At(1, 3), m.At(3, 1))
+	}
+}
+
+func TestMatrixSubmatrix(t *testing.T) {
+	rng := xrand.New(11)
+	n := 9
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	idx := []int{7, 2, 5, 0}
+	sub := m.Submatrix(idx)
+	if sub.N != len(idx) {
+		t.Fatalf("Submatrix N = %d, want %d", sub.N, len(idx))
+	}
+	for a := range idx {
+		for b := range idx {
+			if got, want := sub.At(a, b), m.At(idx[a], idx[b]); got != want {
+				t.Fatalf("Submatrix At(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}

@@ -94,12 +94,7 @@ func ClusteredEvaluate(algo rca.Algorithm, ds *Dataset, opts cluster.Options, me
 		clusterStart := time.Now()
 		var m *cluster.Matrix
 		if metric == MetricCustom && distances != nil {
-			m = cluster.NewMatrix(len(idx))
-			for a := range idx {
-				for b := a + 1; b < len(idx); b++ {
-					m.Set(a, b, distances.At(idx[a], idx[b]))
-				}
-			}
+			m = distances.Submatrix(idx)
 		} else {
 			vocab := cluster.NewInterner()
 			sets := make([]cluster.WeightedSet, len(idx))

@@ -317,8 +317,10 @@ func (a *Analyzer) Analyze(anomalous []*Trace) *Report {
 		MinSamples:       a.ClusterMinSamp,
 		SelectionEpsilon: a.ClusterEpsilon,
 	})
-	medoids := cluster.Medoids(m, labels)
 	hdbSpan.End()
+	medSpan := clusterSpan.Child("medoids")
+	medoids := cluster.Medoids(m, labels)
+	medSpan.End()
 	clusterSpan.End()
 	localizeSpan := root.Child("localize")
 	defer localizeSpan.End()
