@@ -32,12 +32,13 @@ verify: fmt vet build race alloc obs-overhead
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing, the
-# per-trace predict cost must stay a small constant, and the clustering
+# per-trace predict cost must stay a small constant, the clustering
 # engine's steady-state kernels (Eq. 1 merge, bounded-heap row selection,
-# packed-matrix access) must not allocate per call. These tests auto-skip
+# packed-matrix access) must not allocate per call, and the ingest tail
+# sampler's per-trace verdict must allocate nothing. These tests auto-skip
 # under -race, so `make race` alone would never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster ./internal/ingest
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so

@@ -13,9 +13,10 @@
 //	benchrunner -exp train -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 instances
-// ablation, plus the hot paths train/pairwise/predict-batch/hdbscan
-// ("hot" selects all four; "cluster" is shorthand for the hdbscan
-// clustering-pipeline experiment).
+// ablation, plus the hot paths train/pairwise/predict-batch/hdbscan/ingest
+// ("hot" selects all five; "cluster" is shorthand for the hdbscan
+// clustering-pipeline experiment; "ingest" measures the staged streaming
+// pipeline's spans/sec and the sharded store's abnormal-fetch flatness).
 //
 // With -benchout, every experiment additionally writes a machine-readable
 // BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
@@ -42,7 +43,10 @@ import (
 	sleuth "github.com/sleuth-rca/sleuth"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
 	"github.com/sleuth-rca/sleuth/internal/eval"
+	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
 // benchResult is the machine-readable record of one experiment run,
@@ -61,6 +65,39 @@ type benchResult struct {
 // recordName maps an experiment name to its BENCH_<name>.json filename
 // component (dashes would be awkward in some downstream tooling).
 func recordName(op string) string { return strings.ReplaceAll(op, "-", "_") }
+
+// ingestCorpus builds pre-decoded span batches for the streaming-ingest
+// experiment: nTraces traces of spansPerTrace spans, tracesPerBatch traces
+// per Submit-sized batch, with every 100th trace carrying an error span so
+// the sampler's always-keep rule and the store's error index stay on the
+// measured paths.
+func ingestCorpus(nTraces, spansPerTrace, tracesPerBatch int) [][]*trace.Span {
+	var batches [][]*trace.Span
+	batch := make([]*trace.Span, 0, tracesPerBatch*spansPerTrace)
+	for t := 0; t < nTraces; t++ {
+		id := fmt.Sprintf("trace-%08d", t)
+		root := &trace.Span{
+			TraceID: id, SpanID: id + "-s0", Service: "front", Name: "handle",
+			Kind: trace.KindServer, Start: 0, End: int64(1000 + t%500), Error: t%100 == 0,
+		}
+		batch = append(batch, root)
+		for s := 1; s < spansPerTrace; s++ {
+			batch = append(batch, &trace.Span{
+				TraceID: id, SpanID: fmt.Sprintf("%s-s%d", id, s), ParentID: root.SpanID,
+				Service: "backend", Name: "query", Kind: trace.KindClient,
+				Start: int64(10 * s), End: int64(10*s + 100),
+			})
+		}
+		if (t+1)%tracesPerBatch == 0 {
+			batches = append(batches, batch)
+			batch = make([]*trace.Span, 0, tracesPerBatch*spansPerTrace)
+		}
+	}
+	if len(batch) > 0 {
+		batches = append(batches, batch)
+	}
+	return batches
+}
 
 // pctDelta returns the relative change from base to now in percent.
 func pctDelta(base, now float64) float64 {
@@ -135,11 +172,11 @@ func main() {
 	for _, e := range strings.Split(*expFlag, ",") {
 		switch e = strings.TrimSpace(e); e {
 		case "all":
-			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan"} {
+			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan", "ingest"} {
 				selected[x] = true
 			}
 		case "hot":
-			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan"} {
+			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan", "ingest"} {
 				selected[x] = true
 			}
 		case "cluster":
@@ -369,6 +406,88 @@ func main() {
 		}
 		return func() { _, _ = model.PredictBatch(traces, 0) }, nil
 	})
+
+	// The streaming-ingest experiment is hand-rolled rather than a runHot
+	// call: besides ns/op it reports spans/sec through the full pipeline
+	// (the paper-scale number) and the abnormal-fetch flatness check
+	// (sharded error-trace scans at 1× and 10× corpus).
+	if selected["ingest"] {
+		fmt.Printf("\n=== INGEST — staged streaming ingest: submit → concentrate → tail-sample → write ===\n")
+		nTraces := 20000
+		iters := 5
+		if *full {
+			nTraces, iters = 100000, 3
+		}
+		const spansPerTrace, tracesPerBatch = 8, 256
+		batches := ingestCorpus(nTraces, spansPerTrace, tracesPerBatch)
+		runIngest := func() {
+			st := store.New()
+			p := ingest.NewPipeline(st, ingest.Config{
+				SampleRate: 0.1, TraceTTL: -1, BaselineRefresh: -1,
+				QueueSize: len(batches), // measure throughput, not drops
+			})
+			for _, b := range batches {
+				p.Submit(b)
+			}
+			p.Stop()
+		}
+		runIngest() // warm outside the window
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			runIngest()
+		}
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		spans := nTraces * spansPerTrace
+		res := benchResult{
+			Op:          "ingest",
+			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+			Timestamp:   *stamp,
+			Seed:        *seed,
+			Full:        *full,
+		}
+		fmt.Printf("%d iterations × %d spans (sample 0.1): %d ns/op, %d allocs/op, %d B/op\n",
+			iters, spans, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		fmt.Printf("throughput: %.2fM spans/sec (%d ns/span)\n",
+			float64(spans*iters)/elapsed.Seconds()/1e6, res.NsPerOp/int64(spans))
+
+		// Abnormal-fetch flatness: with error traces spread uniformly, a
+		// limited OnlyErrors scan touches ~Limit/error-rate traces whatever
+		// the corpus holds, so sharded latency must stay flat as the store
+		// grows 10×.
+		fmt.Printf("abnormal-fetch (OnlyErrors, Limit 100) vs corpus size:\n")
+		var lat [2]time.Duration
+		for i, n := range []int{nTraces, 10 * nTraces} {
+			st := store.NewSharded(store.DefaultShards())
+			for _, b := range ingestCorpus(n, 2, tracesPerBatch) {
+				st.AddSpans(b)
+			}
+			q := store.Query{OnlyErrors: true, Limit: 100}
+			if got := len(st.Traces(q)); got != 100 {
+				fmt.Fprintf(os.Stderr, "benchrunner: ingest: abnormal fetch returned %d traces\n", got)
+				os.Exit(1)
+			}
+			runtime.GC() // keep corpus-build garbage out of the timings
+			best := time.Duration(1<<63 - 1)
+			for rep := 0; rep < 5; rep++ {
+				qs := time.Now()
+				_ = st.Traces(q)
+				if d := time.Since(qs); d < best {
+					best = d
+				}
+			}
+			lat[i] = best
+			fmt.Printf("  %8d traces: %s\n", n, best.Round(time.Microsecond))
+		}
+		fmt.Printf("  10× corpus latency ratio: %.2fx\n", float64(lat[1])/float64(lat[0]))
+		record(res)
+	}
 
 	run("ablation", "design-choice ablations", func() (string, error) {
 		var b strings.Builder

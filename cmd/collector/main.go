@@ -18,11 +18,13 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/collector"
+	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/store"
 )
 
 func main() {
+	defaults := ingest.DefaultConfig()
 	var (
 		addr      = flag.String("addr", ":4318", "listen address")
 		out       = flag.String("out", "spans.jsonl", "spans JSONL written on shutdown")
@@ -33,6 +35,15 @@ func main() {
 		flushFile = flag.String("flush-file", "", "append JSONL metric snapshots to this file")
 		flushURL  = flag.String("flush-url", "", "POST JSONL metric snapshots to this URL")
 		flushIvl  = flag.Duration("flush-interval", 10*time.Second, "metric flush interval")
+
+		ingestWorkers = flag.Int("ingest-workers", defaults.Workers,
+			"concentrator/sampler/writer shards (SLEUTH_INGEST_WORKERS overrides the default)")
+		ingestSample = flag.Float64("ingest-sample", defaults.SampleRate,
+			"tail-sampling keep rate for healthy traces, 0..1 (SLEUTH_INGEST_SAMPLE overrides the default; error and latency-outlier traces are always kept)")
+		ingestTTL = flag.Duration("ingest-ttl", defaults.TraceTTL,
+			"how long a trace window stays open after its last span (SLEUTH_INGEST_TTL overrides the default)")
+		ingestTailPct = flag.Float64("ingest-tail-pct", defaults.TailPercentile,
+			"OpSummaries percentile above which a root duration is a kept outlier (SLEUTH_INGEST_TAIL_PCT overrides the default)")
 	)
 	flag.Parse()
 
@@ -55,7 +66,16 @@ func main() {
 		flusher.Start()
 	}
 	st := store.New()
-	col := collector.New(st)
+	cfg := defaults
+	cfg.Workers = *ingestWorkers
+	cfg.SampleRate = *ingestSample
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = -1 // explicit 0 sheds every healthy trace
+	}
+	cfg.TraceTTL = *ingestTTL
+	cfg.TailPercentile = *ingestTailPct
+	pipe := ingest.NewPipeline(st, cfg)
+	col := collector.NewWithPipeline(st, pipe)
 	if *accessLog {
 		col.AccessLog = obs.NewAccessLogger()
 	}
@@ -64,7 +84,8 @@ func main() {
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
-		fmt.Printf("collector listening on %s (POST /v1/traces, /api/v2/spans, /api/traces)\n", *addr)
+		fmt.Printf("collector listening on %s (POST /v1/traces, /api/v2/spans, /api/traces; ingest: %d workers, sample=%.2f, ttl=%s, store shards=%d)\n",
+			*addr, cfg.Workers, *ingestSample, cfg.TraceTTL, st.Shards())
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "collector: %v\n", err)
 			os.Exit(1)
@@ -75,6 +96,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+	col.Close() // drain open trace windows into the store
 	if flusher != nil {
 		flusher.Stop()
 	}
@@ -83,5 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "collector: saving spans: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("saved %d spans (%d traces) to %s\n", st.SpanCount(), st.TraceCount(), *out)
+	stats := pipe.Stats()
+	fmt.Printf("saved %d spans (%d traces) to %s (written=%d shed=%d dropped=%d)\n",
+		st.SpanCount(), st.TraceCount(), *out, stats.SpansWritten, stats.SpansShed, stats.SpansDropped)
 }

@@ -69,8 +69,12 @@ func usage() {
 
 func loadTraces(path string) ([]*trace.Trace, error) {
 	st := store.New()
-	if err := st.LoadFile(path); err != nil {
+	skipped, err := st.LoadFile(path)
+	if err != nil {
 		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "sleuthctl: %s: skipped %d malformed span lines\n", path, skipped)
 	}
 	return st.Traces(store.Query{}), nil
 }
@@ -333,8 +337,12 @@ func cmdOps(args []string) error {
 		return fmt.Errorf("ops: -traces is required")
 	}
 	st := store.New()
-	if err := st.LoadFile(*tracesPath); err != nil {
+	skipped, err := st.LoadFile(*tracesPath)
+	if err != nil {
 		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "sleuthctl: %s: skipped %d malformed span lines\n", *tracesPath, skipped)
 	}
 	fmt.Printf("%-60s %8s %10s %10s %10s %7s\n", "operation", "count", "median", "p95", "p99", "err%")
 	for _, s := range st.OpSummaries() {

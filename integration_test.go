@@ -29,7 +29,9 @@ func TestIntegrationPipeline(t *testing.T) {
 
 	// --- Collection: spans arrive over HTTP in mixed protocols.
 	st := store.New()
-	colSrv := httptest.NewServer(collector.New(st).Handler())
+	col := collector.New(st)
+	defer col.Close()
+	colSrv := httptest.NewServer(col.Handler())
 	defer colSrv.Close()
 
 	normal, err := world.SimulateNormal(120)
@@ -59,6 +61,7 @@ func TestIntegrationPipeline(t *testing.T) {
 			t.Fatalf("collector rejected %s: %d", e.path, resp.StatusCode)
 		}
 	}
+	col.Ingest.Flush() // drain the open trace windows into the store
 	if st.TraceCount() != 120 {
 		t.Fatalf("store has %d traces", st.TraceCount())
 	}

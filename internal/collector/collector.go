@@ -1,40 +1,69 @@
 // Package collector implements the trace ingestion endpoint of §4: an HTTP
 // server accepting OpenTelemetry-style, Zipkin-style and Jaeger-style JSON
-// payloads and forwarding the decoded spans into a storage engine — the
+// payloads and feeding the decoded spans into the staged streaming ingest
+// pipeline (internal/ingest) in front of the storage engine — the
 // single-process equivalent of the paper's OpenTelemetry collector cluster.
 //
-// Ingestion is hardened and self-observing: whole-payload decode failures
-// and individually malformed spans are counted in the process metrics
-// registry (collector.decode_errors, collector.spans_rejected /
-// collector.spans_accepted) and surfaced in the ingest response instead of
-// being silently dropped. The handler also exposes /debug/metrics and
-// /debug/pprof via internal/obs.
+// The handler is the pipeline's receiver stage: it bounds the body with
+// http.MaxBytesReader (oversized payloads get a 413 and a
+// collector.body_too_large count instead of silent truncation), decodes and
+// validates synchronously so clients see accept/reject/drop counts in the
+// response, then hands the spans to the concentrator/sampler/writer stages.
+// Whole-payload decode failures and individually malformed spans are
+// counted in the process metrics registry (collector.decode_errors,
+// collector.spans_rejected / collector.spans_accepted) and surfaced in the
+// ingest response instead of being silently dropped. The handler also
+// exposes /debug/metrics and /debug/pprof via internal/obs.
 package collector
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 
+	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/store"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
-// Collector ingests trace payloads into a store.
+// Collector ingests trace payloads into a store through a staged pipeline.
 type Collector struct {
 	Store *store.Store
+	// Ingest is the staged pipeline behind the HTTP receiver. Stop it (or
+	// call Close) to drain open trace windows into the store.
+	Ingest *ingest.Pipeline
 	// MaxBodyBytes bounds accepted payload sizes (default 32 MiB).
 	MaxBodyBytes int64
 	// AccessLog, if non-nil, receives one structured line per request.
 	AccessLog *log.Logger
 }
 
-// New creates a Collector feeding the given store.
+// New creates a Collector feeding the given store through a pipeline with
+// the default (environment-tunable) configuration.
 func New(st *store.Store) *Collector {
-	return &Collector{Store: st, MaxBodyBytes: 32 << 20}
+	return NewWithPipeline(st, ingest.NewPipeline(st, ingest.DefaultConfig()))
+}
+
+// NewWithPipeline creates a Collector over an explicitly configured
+// pipeline. The pipeline should write into st (the /stats counts read it).
+func NewWithPipeline(st *store.Store, p *ingest.Pipeline) *Collector {
+	return &Collector{Store: st, Ingest: p, MaxBodyBytes: 32 << 20}
+}
+
+// Close drains and stops the ingest pipeline.
+func (c *Collector) Close() { c.Ingest.Stop() }
+
+// statsResponse is the /stats document: store totals plus the pipeline's
+// drop/sample accounting.
+type statsResponse struct {
+	Spans  int          `json:"spans"`
+	Traces int          `json:"traces"`
+	Ingest ingest.Stats `json:"ingest"`
 }
 
 // Handler returns the HTTP mux with the three protocol endpoints:
@@ -43,7 +72,7 @@ func New(st *store.Store) *Collector {
 //	POST /api/v2/spans   — Zipkin-style JSON
 //	POST /api/traces     — Jaeger-style JSON
 //	GET  /healthz        — liveness + build info (JSON)
-//	GET  /stats          — span/trace counts
+//	GET  /stats          — span/trace counts + ingest pipeline counters
 //	GET  /metrics        — Prometheus text exposition
 //	GET  /debug/metrics  — metrics registry snapshot (JSON)
 //	GET  /debug/series   — time-series ring buffers (JSON)
@@ -58,26 +87,21 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/api/traces", c.ingest("jaeger", otel.DecodeJaeger))
 	mux.HandleFunc("/healthz", obs.HealthHandler("collector"))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, `{"spans":%d,"traces":%d}`+"\n", c.Store.SpanCount(), c.Store.TraceCount())
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(statsResponse{
+			Spans:  c.Store.SpanCount(),
+			Traces: c.Store.TraceCount(),
+			Ingest: c.Ingest.Stats(),
+		})
 	})
 	obs.Mount(mux)
 	return obs.AccessLog("collector", c.AccessLog, mux)
 }
 
-// validSpan reports whether a decoded span carries the minimum structure
-// the pipeline needs. Invalid spans are dropped (and counted) rather than
-// poisoning trace assembly downstream.
-func validSpan(s *trace.Span) bool {
-	return s != nil &&
-		s.TraceID != "" &&
-		s.SpanID != "" &&
-		s.Kind.Valid() &&
-		s.End >= s.Start
-}
-
-// ingest builds a POST handler around a decoder. Metric names carrying the
-// protocol are precomputed here, outside the request path, so the per-
-// request cost stays at handle lookups.
+// ingest builds a POST handler around a decoder — the receiver stage of
+// the pipeline. Metric names carrying the protocol are precomputed here,
+// outside the request path, so the per-request cost stays at handle
+// lookups.
 func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, error)) http.HandlerFunc {
 	protoDecodeErrors := "collector.decode_errors." + proto
 	protoSpansAccepted := "collector.spans_accepted." + proto
@@ -87,13 +111,26 @@ func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, err
 			return
 		}
 		obs.C("collector.ingest_requests").Inc()
-		body, err := io.ReadAll(io.LimitReader(r.Body, c.MaxBodyBytes))
+		// MaxBytesReader errors out past the limit instead of silently
+		// truncating the payload mid-span (which would surface as a
+		// nonsensical decode error and miscount the client's data).
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.MaxBodyBytes))
 		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				obs.C("collector.body_too_large").Inc()
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusRequestEntityTooLarge)
+				fmt.Fprintf(w, `{"accepted":0,"error":"body exceeds %d bytes"}`+"\n", tooLarge.Limit)
+				return
+			}
 			obs.C("collector.read_errors").Inc()
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
+		dt := obs.H("ingest.decode_us").Start()
 		spans, err := decode(body)
+		dt.Stop()
 		if err != nil {
 			// A payload that does not decode at all is one decode error;
 			// the count is surfaced in the response body alongside the
@@ -106,22 +143,18 @@ func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, err
 			fmt.Fprintf(w, `{"accepted":0,"decodeErrors":1,"error":%q}`+"\n", err.Error())
 			return
 		}
-		accepted := spans[:0]
-		rejected := 0
-		for _, s := range spans {
-			if validSpan(s) {
-				accepted = append(accepted, s)
-			} else {
-				rejected++
-			}
-		}
-		obs.C("collector.spans_accepted").Add(int64(len(accepted)))
-		obs.C(protoSpansAccepted).Add(int64(len(accepted)))
+		accepted, rejected, dropped := c.Ingest.Submit(spans)
+		obs.C("collector.spans_accepted").Add(int64(accepted))
+		obs.C(protoSpansAccepted).Add(int64(accepted))
 		obs.C("collector.spans_rejected").Add(int64(rejected))
-		obs.S("collector.ingest.spans").Append(float64(len(accepted)))
-		c.Store.AddSpans(accepted)
+		obs.S("collector.ingest.spans").Append(float64(accepted))
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusAccepted)
-		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", len(accepted), rejected)
+		if dropped > 0 && accepted == 0 {
+			// Every span hit a full queue: tell the client to back off.
+			w.WriteHeader(http.StatusTooManyRequests)
+		} else {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"dropped":%d}`+"\n", accepted, rejected, dropped)
 	}
 }

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
+	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/sim"
@@ -17,12 +19,14 @@ import (
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+func testServer(t *testing.T) (*httptest.Server, *store.Store, *Collector) {
 	t.Helper()
 	st := store.New()
-	srv := httptest.NewServer(New(st).Handler())
+	col := New(st)
+	t.Cleanup(col.Close)
+	srv := httptest.NewServer(col.Handler())
 	t.Cleanup(srv.Close)
-	return srv, st
+	return srv, st, col
 }
 
 func sampleSpans(t *testing.T) []*trace.Span {
@@ -56,7 +60,7 @@ func TestIngestAllProtocols(t *testing.T) {
 		"jaeger": {"/api/traces", otel.EncodeJaeger},
 	}
 	for name, e := range encoders {
-		srv, st := testServer(t)
+		srv, st, col := testServer(t)
 		data, err := e.encode(spans)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -65,6 +69,7 @@ func TestIngestAllProtocols(t *testing.T) {
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("%s: status %d", name, resp.StatusCode)
 		}
+		col.Ingest.Flush()
 		if st.SpanCount() != len(spans) {
 			t.Fatalf("%s: stored %d spans, want %d", name, st.SpanCount(), len(spans))
 		}
@@ -77,18 +82,66 @@ func TestIngestAllProtocols(t *testing.T) {
 }
 
 func TestRejectsBadPayload(t *testing.T) {
-	srv, st := testServer(t)
+	srv, st, col := testServer(t)
 	resp := post(t, srv.URL+"/v1/traces", []byte("{broken"))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
+	col.Ingest.Flush()
 	if st.SpanCount() != 0 {
 		t.Fatal("bad payload stored spans")
 	}
 }
 
+// TestRejectsOversizedBody: a payload over MaxBodyBytes must come back as
+// 413 (not a silent truncation miscounted as a decode error) and bump the
+// collector.body_too_large counter.
+func TestRejectsOversizedBody(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	st := store.New()
+	col := New(st)
+	t.Cleanup(col.Close)
+	col.MaxBodyBytes = 1 << 10
+	srv := httptest.NewServer(col.Handler())
+	t.Cleanup(srv.Close)
+
+	payload, err := otel.EncodeOTLP(sampleSpans(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad past the limit with trailing whitespace: still valid JSON, so a
+	// truncating implementation would report a bogus decode error instead.
+	payload = append(payload, bytes.Repeat([]byte{' '}, 2<<10)...)
+	resp := post(t, srv.URL+"/v1/traces", payload)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if got := obs.C("collector.body_too_large").Value(); got != 1 {
+		t.Fatalf("body_too_large = %d, want 1", got)
+	}
+	if got := obs.C("collector.decode_errors").Value(); got != 0 {
+		t.Fatalf("oversized body miscounted as %d decode errors", got)
+	}
+	col.Ingest.Flush()
+	if st.SpanCount() != 0 {
+		t.Fatal("oversized payload stored spans")
+	}
+	// At the limit exactly, the payload still goes through.
+	small, err := otel.EncodeOTLP(sampleSpans(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.MaxBodyBytes = int64(len(small))
+	resp = post(t, srv.URL+"/v1/traces", small)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-limit payload: status = %d", resp.StatusCode)
+	}
+}
+
 func TestRejectsGet(t *testing.T) {
-	srv, _ := testServer(t)
+	srv, _, _ := testServer(t)
 	resp, err := http.Get(srv.URL + "/v1/traces")
 	if err != nil {
 		t.Fatal(err)
@@ -99,8 +152,56 @@ func TestRejectsGet(t *testing.T) {
 	}
 }
 
+// TestConcurrentPosts: parallel clients across all three protocols must
+// land every span in the store exactly once (run under -race in CI).
+func TestConcurrentPosts(t *testing.T) {
+	srv, st, col := testServer(t)
+	s := sim.New(synth.Synthetic(16, 5), sim.DefaultOptions(5))
+	results, err := s.Run(0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoders := []struct {
+		path string
+		enc  func([]*trace.Span) ([]byte, error)
+	}{
+		{"/v1/traces", otel.EncodeOTLP},
+		{"/api/v2/spans", otel.EncodeZipkin},
+		{"/api/traces", otel.EncodeJaeger},
+	}
+	wantSpans := 0
+	var wg sync.WaitGroup
+	for i, r := range results {
+		wantSpans += len(r.Trace.Spans)
+		e := encoders[i%len(encoders)]
+		payload, err := e.enc(r.Trace.Spans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(path string, body []byte) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("%s: status %d", path, resp.StatusCode)
+			}
+		}(e.path, payload)
+	}
+	wg.Wait()
+	col.Ingest.Flush()
+	if st.SpanCount() != wantSpans || st.TraceCount() != len(results) {
+		t.Fatalf("stored %d spans / %d traces, want %d/%d",
+			st.SpanCount(), st.TraceCount(), wantSpans, len(results))
+	}
+}
+
 func TestHealthAndStats(t *testing.T) {
-	srv, _ := testServer(t)
+	srv, _, col := testServer(t)
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -117,13 +218,33 @@ func TestHealthAndStats(t *testing.T) {
 	if h.Status != "ok" || h.Component != "collector" || h.GoVersion == "" {
 		t.Fatalf("healthz = %+v", h)
 	}
+
+	// /stats carries the store totals and the pipeline's drop/sample
+	// accounting.
+	payload, err := otel.EncodeOTLP(sampleSpans(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post(t, srv.URL+"/v1/traces", payload)
+	col.Ingest.Flush()
 	resp, err = http.Get(srv.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var stats statsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats body is not JSON: %v\n%s", err, body)
+	}
+	if stats.Spans == 0 || stats.Traces != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Ingest.SpansWritten != int64(stats.Spans) || stats.Ingest.TracesKept != 1 {
+		t.Fatalf("ingest stats = %+v", stats.Ingest)
 	}
 }
 
@@ -134,7 +255,7 @@ func TestMetricsAndSeriesEndpoints(t *testing.T) {
 	obs.Disable()
 	obs.Enable()
 	t.Cleanup(obs.Disable)
-	srv, _ := testServer(t)
+	srv, _, col := testServer(t)
 	spans := sampleSpans(t)
 	data, err := otel.EncodeOTLP(spans)
 	if err != nil {
@@ -142,6 +263,7 @@ func TestMetricsAndSeriesEndpoints(t *testing.T) {
 	}
 	post(t, srv.URL+"/v1/traces", data)
 	post(t, srv.URL+"/v1/traces", []byte("{broken"))
+	col.Ingest.Flush()
 
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -157,6 +279,8 @@ func TestMetricsAndSeriesEndpoints(t *testing.T) {
 		"collector_spans_accepted_total",
 		"collector_spans_accepted_otlp_total",
 		"collector_decode_errors_otlp_total 1",
+		"ingest_traces_kept_total 1",
+		"ingest_spans_written_total",
 		"# TYPE collector_http_request_us histogram",
 	} {
 		if !strings.Contains(text, want) {
@@ -177,5 +301,47 @@ func TestMetricsAndSeriesEndpoints(t *testing.T) {
 	samples := q.Series["collector.ingest.spans"].Samples
 	if len(samples) != 1 || samples[0].V != float64(len(spans)) {
 		t.Errorf("ingest series = %+v, want one sample of %d spans", samples, len(spans))
+	}
+}
+
+// TestBackpressureDropsCounted: when every worker queue is full, spans are
+// dropped at the door, counted, and the client sees 429 — never a stall.
+func TestBackpressureDropsCounted(t *testing.T) {
+	st := store.New()
+	// One worker, one-slot queue, and a flush barrier nobody acknowledges:
+	// the worker stalls, the queue fills, and the next submit must drop.
+	p := ingest.NewPipeline(st, ingest.Config{Workers: 1, QueueSize: 1, TraceTTL: -1})
+	col := NewWithPipeline(st, p)
+	t.Cleanup(col.Close)
+	srv := httptest.NewServer(col.Handler())
+	t.Cleanup(srv.Close)
+
+	block := p.Block()
+	payload, err := otel.EncodeOTLP(sampleSpans(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post(t, srv.URL+"/v1/traces", payload) // fills the one queue slot
+	resp := post(t, srv.URL+"/v1/traces", payload)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	var ack struct {
+		Accepted, Rejected, Dropped int
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatalf("ingest ack not JSON: %v\n%s", err, body)
+	}
+	if ack.Dropped == 0 || ack.Accepted != 0 {
+		t.Fatalf("ack = %+v, want all spans dropped", ack)
+	}
+	if got := p.Stats().SpansDropped; got != int64(ack.Dropped) {
+		t.Fatalf("SpansDropped = %d, want %d", got, ack.Dropped)
+	}
+	block() // release the worker
+	col.Ingest.Flush()
+	if st.SpanCount() == 0 {
+		t.Fatal("first payload never drained into the store")
 	}
 }

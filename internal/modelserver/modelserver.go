@@ -11,7 +11,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -311,8 +310,16 @@ func (s *Server) handleModel(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) publish(w http.ResponseWriter, req *http.Request, name string) {
-	m, err := core.Load(io.LimitReader(req.Body, 256<<20))
+	// MaxBytesReader (not LimitReader): an oversized upload must fail as
+	// 413, not load a silently truncated model.
+	m, err := core.Load(http.MaxBytesReader(w, req.Body, 256<<20))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			obs.C("modelserver.body_too_large").Inc()
+			http.Error(w, "model exceeds size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -425,7 +432,13 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 		return
 	}
 	var body ScoreRequest
-	if err := json.NewDecoder(io.LimitReader(req.Body, 256<<20)).Decode(&body); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 256<<20)).Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			obs.C("modelserver.body_too_large").Inc()
+			http.Error(w, "score request exceeds size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad score request: "+err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -4,23 +4,34 @@
 // operation statistics (the computations the paper offloads to SQL
 // operators — exclusive durations, medians, percentiles), and JSONL
 // persistence.
+//
+// The store is sharded by trace-ID hash (default GOMAXPROCS shards,
+// SLEUTH_STORE_SHARDS overrides): writers touching different traces lock
+// different shards, predicate scans run one goroutine per shard, and a
+// Limit query stops each shard's scan as soon as it has enough matches —
+// the abnormal-trace fetch stays flat as the corpus grows instead of
+// snapshotting the whole corpus under one big lock.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"github.com/sleuth-rca/sleuth/internal/stats"
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
-// Store is a thread-safe trace store.
-type Store struct {
+// shard is one lock domain of the store: the traces whose ID hashes here,
+// with their own insertion order and service index.
+type shard struct {
 	mu sync.RWMutex
 
 	// spans grouped by trace ID, insertion-ordered trace list.
@@ -33,30 +44,114 @@ type Store struct {
 	spanCount int
 }
 
-// New creates an empty Store.
-func New() *Store {
-	return &Store{
+func newShard() *shard {
+	return &shard{
 		byTrace:   make(map[string][]*trace.Span),
 		byService: make(map[string]map[string]struct{}),
 	}
 }
 
-// AddSpans ingests spans (any mix of traces, any order).
-func (s *Store) AddSpans(spans []*trace.Span) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, sp := range spans {
-		if _, ok := s.byTrace[sp.TraceID]; !ok {
-			s.order = append(s.order, sp.TraceID)
+// Store is a thread-safe sharded trace store.
+type Store struct {
+	shards []*shard
+}
+
+// DefaultShards returns the shard count used by New: SLEUTH_STORE_SHARDS
+// when set to a positive integer, GOMAXPROCS otherwise.
+func DefaultShards() int {
+	if raw := os.Getenv("SLEUTH_STORE_SHARDS"); raw != "" {
+		if n, err := strconv.Atoi(raw); err == nil && n > 0 {
+			return n
 		}
-		s.byTrace[sp.TraceID] = append(s.byTrace[sp.TraceID], sp)
-		set, ok := s.byService[sp.Service]
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// New creates an empty Store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards()) }
+
+// NewSharded creates an empty Store with n shards (n < 1 is treated as 1).
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardIndex hashes a trace ID onto a shard with FNV-1a.
+func shardIndex(id string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+func (s *Store) shardFor(id string) *shard { return s.shards[shardIndex(id, len(s.shards))] }
+
+// add ingests spans into one shard. Every span must hash to this shard.
+func (sh *shard) add(spans []*trace.Span) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, sp := range spans {
+		if _, ok := sh.byTrace[sp.TraceID]; !ok {
+			sh.order = append(sh.order, sp.TraceID)
+		}
+		sh.byTrace[sp.TraceID] = append(sh.byTrace[sp.TraceID], sp)
+		set, ok := sh.byService[sp.Service]
 		if !ok {
 			set = make(map[string]struct{})
-			s.byService[sp.Service] = set
+			sh.byService[sp.Service] = set
 		}
 		set[sp.TraceID] = struct{}{}
-		s.spanCount++
+		sh.spanCount++
+	}
+}
+
+// AddSpans ingests spans (any mix of traces, any order).
+func (s *Store) AddSpans(spans []*trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	n := len(s.shards)
+	if n == 1 {
+		s.shards[0].add(spans)
+		return
+	}
+	// Fast path: batches carrying a single trace (the common shape from the
+	// ingest writer) land on one shard with one lock acquisition.
+	first := shardIndex(spans[0].TraceID, n)
+	uniform := true
+	for _, sp := range spans[1:] {
+		if shardIndex(sp.TraceID, n) != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		s.shards[first].add(spans)
+		return
+	}
+	buckets := make([][]*trace.Span, n)
+	for _, sp := range spans {
+		i := shardIndex(sp.TraceID, n)
+		buckets[i] = append(buckets[i], sp)
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			s.shards[i].add(b)
+		}
 	}
 }
 
@@ -65,21 +160,29 @@ func (s *Store) AddTrace(tr *trace.Trace) { s.AddSpans(tr.Spans) }
 
 // SpanCount returns the number of stored spans.
 func (s *Store) SpanCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.spanCount
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.spanCount
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // TraceCount returns the number of stored traces.
 func (s *Store) TraceCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.order)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.order)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // Query filters traces. Zero values mean "no constraint".
 type Query struct {
-	// TraceIDs restricts to specific traces.
+	// TraceIDs restricts to specific traces (duplicates are ignored).
 	TraceIDs []string
 	// Service restricts to traces touching the service (index-accelerated).
 	Service string
@@ -93,33 +196,117 @@ type Query struct {
 	Limit int
 }
 
-// Traces runs a query, assembling matching traces. Invalid span groups
-// (failed assembly) are skipped.
-func (s *Store) Traces(q Query) []*trace.Trace {
-	s.mu.RLock()
-	// Snapshot candidate IDs under the lock.
-	var ids []string
-	switch {
-	case len(q.TraceIDs) > 0:
-		ids = append(ids, q.TraceIDs...)
-	case q.Service != "":
-		for id := range s.byService[q.Service] {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-	default:
-		ids = append(ids, s.order...)
+// group copies the span list of one trace out of the shard under a short
+// read lock, so assembly (which sorts the slice in place) never runs while
+// the lock is held and never mutates the stored slice.
+func (sh *shard) group(id string) []*trace.Span {
+	sh.mu.RLock()
+	spans := sh.byTrace[id]
+	var cp []*trace.Span
+	if len(spans) > 0 {
+		cp = make([]*trace.Span, len(spans))
+		copy(cp, spans)
 	}
-	groups := make([][]*trace.Span, 0, len(ids))
-	for _, id := range ids {
-		if spans, ok := s.byTrace[id]; ok {
-			groups = append(groups, append([]*trace.Span(nil), spans...))
-		}
-	}
-	s.mu.RUnlock()
+	sh.mu.RUnlock()
+	return cp
+}
 
+// candidates snapshots the shard's candidate trace IDs for a query: the
+// service index when the query names a service, insertion order otherwise.
+// Only the ID list is copied — span groups are fetched one at a time during
+// the scan, so a Limit query copies only as many groups as it inspects.
+func (sh *shard) candidates(q Query) []string {
+	sh.mu.RLock()
+	var ids []string
+	if q.Service != "" {
+		set := sh.byService[q.Service]
+		if len(set) > 0 {
+			ids = make([]string, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+		}
+	} else if len(sh.order) > 0 {
+		ids = append([]string(nil), sh.order...)
+	}
+	sh.mu.RUnlock()
+	if q.Service != "" {
+		sort.Strings(ids)
+	}
+	return ids
+}
+
+// scan assembles and filters this shard's candidates, stopping as soon as
+// q.Limit matches are found.
+func (sh *shard) scan(q Query) []*trace.Trace {
+	ids := sh.candidates(q)
 	var out []*trace.Trace
-	for _, group := range groups {
+	for _, id := range ids {
+		group := sh.group(id)
+		if len(group) == 0 {
+			continue
+		}
+		tr, err := trace.Assemble(group)
+		if err != nil {
+			continue
+		}
+		if !matches(tr, q) {
+			continue
+		}
+		out = append(out, tr)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Traces runs a query, assembling matching traces. Invalid span groups
+// (failed assembly) are skipped. Shards are scanned in parallel; each
+// shard's scan exits early once it alone could satisfy q.Limit, so small
+// limits touch a small prefix of the corpus instead of snapshotting it.
+func (s *Store) Traces(q Query) []*trace.Trace {
+	if len(q.TraceIDs) > 0 {
+		return s.tracesByID(q)
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].scan(q)
+	}
+	results := make([][]*trace.Trace, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			results[i] = sh.scan(q)
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []*trace.Trace
+	for _, r := range results {
+		out = append(out, r...)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			out = out[:q.Limit]
+			break
+		}
+	}
+	return out
+}
+
+// tracesByID serves an explicit-ID query in request order, skipping
+// duplicate IDs so a repeated ID cannot return the same trace twice.
+func (s *Store) tracesByID(q Query) []*trace.Trace {
+	seen := make(map[string]struct{}, len(q.TraceIDs))
+	var out []*trace.Trace
+	for _, id := range q.TraceIDs {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		group := s.shardFor(id).group(id)
+		if len(group) == 0 {
+			continue
+		}
 		tr, err := trace.Assemble(group)
 		if err != nil {
 			continue
@@ -205,47 +392,60 @@ func (s *Store) OpSummaries() []OpSummary {
 	return out
 }
 
-// SaveJSONL writes every span as one JSON line.
+// SaveJSONL writes every span as one JSON line, shard by shard in each
+// shard's insertion order.
 func (s *Store) SaveJSONL(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, id := range s.order {
-		for _, sp := range s.byTrace[id] {
-			if err := enc.Encode(sp); err != nil {
-				return fmt.Errorf("store: encoding span: %w", err)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, id := range sh.order {
+			for _, sp := range sh.byTrace[id] {
+				if err := enc.Encode(sp); err != nil {
+					sh.mu.RUnlock()
+					return fmt.Errorf("store: encoding span: %w", err)
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return bw.Flush()
 }
 
-// LoadJSONL ingests spans from a JSONL stream.
-func (s *Store) LoadJSONL(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+// LoadJSONL ingests spans from a JSONL stream. Lines of any length are
+// accepted; malformed lines are skipped and counted (mirroring the
+// collector's skip-and-count policy) rather than aborting the load. It
+// returns the number of skipped lines; the error is non-nil only for I/O
+// failures on the underlying reader.
+func (s *Store) LoadJSONL(r io.Reader) (skipped int, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
 	var batch []*trace.Span
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var sp trace.Span
+			if jerr := json.Unmarshal(trimmed, &sp); jerr != nil {
+				skipped++
+			} else {
+				cp := sp
+				batch = append(batch, &cp)
+				if len(batch) >= 4096 {
+					s.AddSpans(batch)
+					batch = batch[:0]
+				}
+			}
 		}
-		var sp trace.Span
-		if err := json.Unmarshal(line, &sp); err != nil {
-			return fmt.Errorf("store: parsing span line: %w", err)
+		if rerr == io.EOF {
+			break
 		}
-		cp := sp
-		batch = append(batch, &cp)
-		if len(batch) >= 4096 {
-			s.AddSpans(batch)
-			batch = batch[:0]
+		if rerr != nil {
+			return skipped, rerr
 		}
 	}
 	if len(batch) > 0 {
 		s.AddSpans(batch)
 	}
-	return sc.Err()
+	return skipped, nil
 }
 
 // SaveFile writes the store to a JSONL file.
@@ -261,11 +461,12 @@ func (s *Store) SaveFile(path string) error {
 	return f.Sync()
 }
 
-// LoadFile reads a JSONL file into the store.
-func (s *Store) LoadFile(path string) error {
+// LoadFile reads a JSONL file into the store, returning the number of
+// skipped (malformed) lines.
+func (s *Store) LoadFile(path string) (skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	return s.LoadJSONL(f)
@@ -273,10 +474,16 @@ func (s *Store) LoadFile(path string) error {
 
 // Services returns the sorted service names present in the store.
 func (s *Store) Services() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byService))
-	for svc := range s.byService {
+	set := make(map[string]struct{})
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for svc := range sh.byService {
+			set[svc] = struct{}{}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(set))
+	for svc := range set {
 		out = append(out, svc)
 	}
 	sort.Strings(out)

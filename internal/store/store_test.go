@@ -3,12 +3,15 @@ package store
 import (
 	"bytes"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
 	"github.com/sleuth-rca/sleuth/internal/chaos"
 	"github.com/sleuth-rca/sleuth/internal/sim"
 	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
 func populated(t *testing.T, n int) (*Store, *sim.Simulator) {
@@ -19,7 +22,9 @@ func populated(t *testing.T, n int) (*Store, *sim.Simulator) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := New()
+	// Multiple shards even on one-core test boxes, so the sharded paths
+	// (partitioned adds, parallel scans, limit merge) are always exercised.
+	st := NewSharded(4)
 	for _, r := range results {
 		st.AddTrace(r.Trace)
 	}
@@ -156,8 +161,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	st2 := New()
-	if err := st2.LoadJSONL(&buf); err != nil {
+	skipped, err := st2.LoadJSONL(&buf)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean round trip skipped %d lines", skipped)
 	}
 	if st2.SpanCount() != st.SpanCount() || st2.TraceCount() != st.TraceCount() {
 		t.Fatalf("round trip: %d/%d vs %d/%d spans/traces",
@@ -172,7 +181,7 @@ func TestFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	st2 := New()
-	if err := st2.LoadFile(path); err != nil {
+	if _, err := st2.LoadFile(path); err != nil {
 		t.Fatal(err)
 	}
 	if st2.TraceCount() != 10 {
@@ -180,10 +189,119 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoadJSONLRejectsGarbage(t *testing.T) {
+// TestLoadJSONLSkipsAndCounts: malformed lines must be skipped and counted
+// — not abort the whole load — mirroring the collector's per-span
+// skip-and-count policy.
+func TestLoadJSONLSkipsAndCounts(t *testing.T) {
+	input := `{"traceId":"t1","spanId":"a","service":"s","name":"op","kind":"server","start":1,"end":5}
+{broken
+not json at all
+{"traceId":"t2","spanId":"b","service":"s","name":"op","kind":"server","start":2,"end":6}
+`
 	st := New()
-	if err := st.LoadJSONL(bytes.NewBufferString("{broken\n")); err == nil {
-		t.Fatal("garbage line accepted")
+	skipped, err := st.LoadJSONL(bytes.NewBufferString(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if st.SpanCount() != 2 || st.TraceCount() != 2 {
+		t.Fatalf("loaded %d spans / %d traces, want 2/2", st.SpanCount(), st.TraceCount())
+	}
+}
+
+// TestLoadJSONLLongLine: a span line over the old 1 MiB scanner cap must
+// load instead of killing the stream.
+func TestLoadJSONLLongLine(t *testing.T) {
+	big := strings.Repeat("x", 2<<20) // 2 MiB attribute value
+	line := `{"traceId":"t1","spanId":"a","service":"s","name":"op","kind":"server","start":1,"end":5,"attrs":{"blob":"` + big + `"}}`
+	st := New()
+	skipped, err := st.LoadJSONL(bytes.NewBufferString(line + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || st.SpanCount() != 1 {
+		t.Fatalf("long line: skipped=%d spans=%d, want 0/1", skipped, st.SpanCount())
+	}
+	got := st.Traces(Query{})
+	if len(got) != 1 || got[0].Spans[0].Attrs["blob"] != big {
+		t.Fatal("long attribute did not round-trip")
+	}
+}
+
+// TestQueryDuplicateTraceIDs: a repeated ID in Query.TraceIDs must not
+// return the same trace twice.
+func TestQueryDuplicateTraceIDs(t *testing.T) {
+	st, _ := populated(t, 10)
+	all := st.Traces(Query{})
+	id := all[2].TraceID
+	got := st.Traces(Query{TraceIDs: []string{id, id, id}})
+	if len(got) != 1 || got[0].TraceID != id {
+		t.Fatalf("duplicate-ID query returned %d traces", len(got))
+	}
+	// Mixed duplicates preserve request order of the distinct IDs.
+	got = st.Traces(Query{TraceIDs: []string{all[5].TraceID, id, all[5].TraceID}})
+	if len(got) != 2 || got[0].TraceID != all[5].TraceID || got[1].TraceID != id {
+		t.Fatalf("mixed duplicate query = %v", traceIDs(got))
+	}
+}
+
+func traceIDs(trs []*trace.Trace) []string {
+	out := make([]string, len(trs))
+	for i, tr := range trs {
+		out[i] = tr.TraceID
+	}
+	return out
+}
+
+// TestShardEquivalence: every query must return the same trace set on a
+// single-shard store and a many-shard store (order may differ across shard
+// layouts; contents may not).
+func TestShardEquivalence(t *testing.T) {
+	app := synth.Synthetic(16, 3)
+	s := sim.New(app, sim.DefaultOptions(3))
+	results, err := s.Run(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, sharded := NewSharded(1), NewSharded(8)
+	for _, r := range results {
+		single.AddTrace(r.Trace)
+		sharded.AddTrace(r.Trace)
+	}
+	if single.SpanCount() != sharded.SpanCount() || single.TraceCount() != sharded.TraceCount() {
+		t.Fatalf("counts diverge: %d/%d vs %d/%d",
+			single.SpanCount(), single.TraceCount(), sharded.SpanCount(), sharded.TraceCount())
+	}
+	svc := single.Services()[0]
+	all := single.Traces(Query{})
+	mid := all[30].Spans[all[30].Roots()[0]].Start
+	queries := []Query{
+		{},
+		{Service: svc},
+		{OnlyErrors: true},
+		{MinRootDuration: 50_000},
+		{MinStart: mid},
+		{MaxStart: mid},
+		{TraceIDs: traceIDs(all[:7])},
+	}
+	for qi, q := range queries {
+		a, b := traceIDs(single.Traces(q)), traceIDs(sharded.Traces(q))
+		sort.Strings(a)
+		sort.Strings(b)
+		if strings.Join(a, ",") != strings.Join(b, ",") {
+			t.Fatalf("query %d: single=%v sharded=%v", qi, a, b)
+		}
+	}
+	// Limit queries return exactly Limit traces on both layouts.
+	for _, limit := range []int{1, 5, 59} {
+		if got := len(sharded.Traces(Query{Limit: limit})); got != limit {
+			t.Fatalf("sharded Limit=%d returned %d", limit, got)
+		}
+	}
+	if strings.Join(single.Services(), ",") != strings.Join(sharded.Services(), ",") {
+		t.Fatal("service sets diverge")
 	}
 }
 
