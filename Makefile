@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead
+.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,10 @@ fmt:
 # regression tests (which the race detector's instrumentation skips, so
 # they need a non-race pass), and a smoke run of the observability-overhead
 # benchmark — the disabled-path numbers back the "off by default costs
-# nothing" claim.
-verify: fmt vet build race alloc obs-overhead
+# nothing" claim — plus the distributed-tracing propagation smoke test
+# (collector + model server in-process, one scored request, one joined
+# trace through the dogfood loop).
+verify: fmt vet build race alloc obs-overhead propagation-smoke
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing, the
@@ -61,4 +63,10 @@ bench-compare:
 	$(GO) run ./cmd/benchrunner -exp hot -baseline $(BENCHOUT)
 
 obs-overhead:
-	$(GO) test -bench='BenchmarkObsOverhead|BenchmarkSeriesAppend' -benchtime=10000x -run=^$$ ./internal/obs
+	$(GO) test -bench='BenchmarkObsOverhead|BenchmarkSeriesAppend|BenchmarkTracePropagation' -benchtime=10000x -run=^$$ ./internal/obs
+
+# propagation-smoke drives one scored request through in-process collector +
+# model server and asserts a single joined distributed self-trace with spans
+# from every component, ingested and re-scored by the pipeline itself.
+propagation-smoke:
+	$(GO) test -run 'TestPropagationSmoke' -count=1 .

@@ -35,6 +35,8 @@ func main() {
 		flushFile = flag.String("flush-file", "", "append JSONL metric snapshots to this file")
 		flushURL  = flag.String("flush-url", "", "POST JSONL metric snapshots to this URL")
 		flushIvl  = flag.Duration("flush-interval", 10*time.Second, "metric flush interval")
+		selfpost  = flag.String("selfpost", os.Getenv("SLEUTH_OBS_SELFPOST"),
+			"mirror sampled self-traces to this collector URL for the dogfood loop (SLEUTH_OBS_SELFPOST overrides the default; may point at this process)")
 
 		ingestWorkers = flag.Int("ingest-workers", defaults.Workers,
 			"concentrator/sampler/writer shards (SLEUTH_INGEST_WORKERS overrides the default)")
@@ -51,6 +53,9 @@ func main() {
 		obs.Enable()
 		if *sample > 0 {
 			obs.StartSampler(*sample)
+		}
+		if *selfpost != "" {
+			obs.EnableSelfPost(*selfpost)
 		}
 	}
 	var flusher *obs.Flusher

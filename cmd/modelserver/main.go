@@ -19,6 +19,7 @@
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /debug/metrics                   metrics snapshot (JSON)
 //	GET  /debug/series                    time-series ring buffers (JSON)
+//	GET  /debug/traces                    tail-sampled self-trace ring (JSON)
 //	GET  /debug/pprof/...                 runtime profiles
 package main
 
@@ -41,12 +42,17 @@ func main() {
 		accessLog = flag.Bool("access-log", true, "log one structured line per request")
 		sample    = flag.Duration("sample", obs.EnvSampleInterval(10*time.Second),
 			"metric sampling interval for /debug/series (0 disables; SLEUTH_OBS_SAMPLE overrides the default)")
+		selfpost = flag.String("selfpost", os.Getenv("SLEUTH_OBS_SELFPOST"),
+			"mirror sampled self-traces to this collector URL for the dogfood loop (SLEUTH_OBS_SELFPOST overrides the default)")
 	)
 	flag.Parse()
 	if *enableObs {
 		obs.Enable()
 		if *sample > 0 {
 			obs.StartSampler(*sample)
+		}
+		if *selfpost != "" {
+			obs.EnableSelfPost(*selfpost)
 		}
 	}
 	reg, err := modelserver.Open(*dir)

@@ -5,6 +5,8 @@
 //	sleuthctl cluster -traces incident.jsonl
 //	sleuthctl ops     -traces spans.jsonl      # per-operation statistics
 //	sleuthctl selftrace -in selftrace.json     # replay a pipeline self-trace
+//	sleuthctl traces  -addr localhost:4318 -slowest   # list ring-resident self-traces
+//	sleuthctl trace   -addr localhost:4318,localhost:8500 <id>  # joined span tree
 //	sleuthctl watch   -addr localhost:4318     # live sparkline telemetry view
 //
 // Trace files are span JSONL as written by tracegen or the collector.
@@ -51,6 +53,10 @@ func main() {
 		err = cmdOps(os.Args[2:])
 	case "selftrace":
 		err = cmdSelfTrace(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "traces":
+		err = cmdTraces(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
 	default:
@@ -63,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace|watch> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace|trace|traces|watch> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,165 @@
+package sleuth
+
+// Propagation smoke test (wired into `make verify`): collector and model
+// server run in-process, one scored request is driven through the
+// instrumented client, and the result must be a single joined distributed
+// trace — driver, model-server and (via the SELFPOST dogfood mirror)
+// collector spans under one W3C trace ID — that the pipeline then ingests
+// and scores itself.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/collector"
+	"github.com/sleuth-rca/sleuth/internal/modelserver"
+	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+func TestPropagationSmoke(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	// Collector: the ingest sink for application traces AND for the
+	// dogfood mirror.
+	st := store.New()
+	col := collector.New(st)
+	defer col.Close()
+	colSrv := httptest.NewServer(col.Handler())
+	defer colSrv.Close()
+	obs.EnableSelfPost(colSrv.URL)
+	defer obs.StopSelfPost()
+
+	// Model server with one trained model.
+	app := NewSyntheticApp(8, 11)
+	world := NewWorld(app, 11)
+	normal, err := world.SimulateNormal(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Train(normal, TrainConfig{EmbeddingDim: 6, Hidden: 16, Epochs: 1, LearningRate: 3e-3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := modelserver.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("prod", model, "smoke", nil); err != nil {
+		t.Fatal(err)
+	}
+	msSrv := httptest.NewServer((&modelserver.Server{Registry: reg}).Handler())
+	defer msSrv.Close()
+
+	// Driver: one scored request under a driver-side root span, through the
+	// instrumented client — the sleuthctl-shaped hop.
+	scoreBody, err := json.Marshal(modelserver.ScoreRequest{Spans: normal[0].Spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer("driver", "")
+	root := tracer.Start("smoke", nil)
+	ctx := obs.ContextWithRequestID(obs.ContextWithSpan(context.Background(), root), "smoke-req-1")
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		msSrv.URL+"/models/prod/latest/score", bytes.NewReader(scoreBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := obs.NewClient(0).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scored modelserver.ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&scored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	root.End()
+	if resp.StatusCode != http.StatusOK || len(scored.Results) == 0 {
+		t.Fatalf("score request failed: status=%d results=%d", resp.StatusCode, len(scored.Results))
+	}
+
+	tid := tracer.TraceID()
+	if got := resp.Header.Get("X-Trace-ID"); got != tid {
+		t.Fatalf("model server answered trace %q, want the driver's %q — propagation broken", got, tid)
+	}
+
+	// One joined trace: driver spans + the ring-resident server spans
+	// assemble into a single tree spanning both components.
+	joined := append(tracer.Spans(), obs.Ring().Get(tid)...)
+	tr, err := trace.Assemble(joined)
+	if err != nil {
+		t.Fatalf("joined trace does not assemble: %v", err)
+	}
+	if len(tr.Roots()) != 1 {
+		t.Fatalf("joined trace has %d roots, want 1", len(tr.Roots()))
+	}
+	hasService := func(tr *trace.Trace, svc string) bool {
+		for _, s := range tr.Services() {
+			if s == svc {
+				return true
+			}
+		}
+		return false
+	}
+	for _, svc := range []string{"driver", "modelserver"} {
+		if !hasService(tr, svc) {
+			t.Fatalf("joined trace missing %s spans (has %v)", svc, tr.Services())
+		}
+	}
+
+	// The latency histogram's exemplar points back at this trace.
+	found := false
+	for _, ex := range obs.H("modelserver.http.request_us").Exemplars() {
+		found = found || ex.TraceID == tid
+	}
+	if !found {
+		t.Fatalf("no request_us exemplar carries trace %s", tid)
+	}
+
+	// Dogfood loop: the mirror POSTed the server-side trace to the
+	// collector; after a flush the pipeline has ingested Sleuth's own
+	// execution — and the collector's server span (continuing the mirrored
+	// root's context) joined the same trace in the shared ring.
+	obs.SelfPost().Flush()
+	col.Ingest.Flush()
+	stored := st.Traces(store.Query{TraceIDs: []string{tid}})
+	if len(stored) != 1 {
+		t.Fatalf("collector store holds %d traces for %s, want 1 (dogfood mirror broken)", len(stored), tid)
+	}
+	if !hasService(stored[0], "modelserver") {
+		t.Fatalf("ingested self-trace lost its spans: %v", stored[0].Services())
+	}
+	ringTrace, err := trace.Assemble(obs.Ring().Get(tid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasService(ringTrace, "collector") {
+		t.Fatalf("collector's mirror-ingest span did not join trace %s (ring has %v)", tid, ringTrace.Services())
+	}
+
+	// Close the loop: the pipeline scores its own ingested trace.
+	selfBody, err := json.Marshal(modelserver.ScoreRequest{Spans: stored[0].Spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(msSrv.URL+"/models/prod/latest/score", "application/json", bytes.NewReader(selfBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selfScored modelserver.ScoreResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&selfScored); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(selfScored.Results) != 1 || selfScored.Results[0].TraceID != tid {
+		t.Fatalf("pipeline could not score its own trace: %+v", selfScored.Results)
+	}
+}

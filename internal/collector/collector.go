@@ -76,10 +76,14 @@ type statsResponse struct {
 //	GET  /metrics        — Prometheus text exposition
 //	GET  /debug/metrics  — metrics registry snapshot (JSON)
 //	GET  /debug/series   — time-series ring buffers (JSON)
+//	GET  /debug/traces   — tail-sampled self-trace ring (JSON)
 //	GET  /debug/pprof/…  — runtime profiles
 //
 // Every request flows through the obs access-log middleware, which assigns
-// (or propagates) an X-Request-ID and records request counters/latency.
+// (or propagates) an X-Request-ID, continues an incoming W3C traceparent
+// into a per-request self-trace (the ingest handler's decode/submit stages
+// appear as child spans), and records request counters/latency with
+// trace-ID exemplars.
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/traces", c.ingest("otlp", otel.DecodeOTLP))
@@ -128,10 +132,14 @@ func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, err
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
+		dsp := obs.SpanFrom(r.Context()).Child("decode." + proto)
 		dt := obs.H("ingest.decode_us").Start()
 		spans, err := decode(body)
 		dt.Stop()
+		dsp.Annotate("http.body_bytes", fmt.Sprint(len(body)))
+		dsp.End()
 		if err != nil {
+			dsp.SetError(true)
 			// A payload that does not decode at all is one decode error;
 			// the count is surfaced in the response body alongside the
 			// error so lossy clients can see drops, not just 400s.
@@ -143,7 +151,10 @@ func (c *Collector) ingest(proto string, decode func([]byte) ([]*trace.Span, err
 			fmt.Fprintf(w, `{"accepted":0,"decodeErrors":1,"error":%q}`+"\n", err.Error())
 			return
 		}
+		ssp := obs.SpanFrom(r.Context()).Child("pipeline.submit")
 		accepted, rejected, dropped := c.Ingest.Submit(spans)
+		ssp.Annotate("spans.accepted", fmt.Sprint(accepted))
+		ssp.End()
 		obs.C("collector.spans_accepted").Add(int64(accepted))
 		obs.C(protoSpansAccepted).Add(int64(accepted))
 		obs.C("collector.spans_rejected").Add(int64(rejected))

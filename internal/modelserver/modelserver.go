@@ -262,6 +262,7 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	GET  /metrics                          Prometheus text exposition
 //	GET  /debug/metrics                    metrics registry snapshot (JSON)
 //	GET  /debug/series                     time-series ring buffers (JSON)
+//	GET  /debug/traces                     tail-sampled self-trace ring (JSON)
 //	GET  /debug/pprof/...                  runtime profiles
 type Server struct {
 	Registry *Registry
@@ -406,9 +407,18 @@ type ScoreResponse struct {
 // assembled into traces and pushed through the model's data-parallel
 // PredictBatch/MeanLoss path.
 func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionStr string) {
-	timer := obs.H("modelserver.score_us").Start()
-	defer timer.Stop()
+	start := time.Now()
+	// The score latency histogram carries the request's self-trace ID as its
+	// bucket exemplar, so a p99 spike on the watch dashboard points straight
+	// at a joined span tree.
+	defer func() {
+		obs.H("modelserver.score_us").ObserveExemplar(
+			float64(time.Since(start))/float64(time.Microsecond),
+			obs.TraceIDFrom(req.Context()))
+	}()
 	obs.C("modelserver.score.requests").Inc()
+	reqSpan := obs.SpanFrom(req.Context())
+	lsp := reqSpan.Child("model.load")
 	var (
 		m   *core.Model
 		err error
@@ -418,11 +428,18 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 	} else {
 		v, perr := strconv.Atoi(versionStr)
 		if perr != nil {
+			lsp.SetError(true)
+			lsp.End()
 			http.Error(w, "bad version", http.StatusBadRequest)
 			return
 		}
 		m, _, err = s.Registry.Get(name, v)
 	}
+	lsp.Annotate("model.ref", name+"@"+versionStr)
+	if err != nil {
+		lsp.SetError(true)
+	}
+	lsp.End()
 	if errors.Is(err, ErrNotFound) {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
@@ -446,17 +463,24 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 		http.Error(w, "no spans", http.StatusBadRequest)
 		return
 	}
+	asp := reqSpan.Child("trace.assemble")
 	traces, skipped := trace.AssembleAll(body.Spans)
+	asp.Annotate("traces", strconv.Itoa(len(traces)))
+	asp.End()
 	obs.C("modelserver.score.spans").Add(int64(len(body.Spans)))
 	obs.C("modelserver.score.traces").Add(int64(len(traces)))
 	obs.C("modelserver.score.skipped").Add(int64(skipped))
 	sort.Slice(traces, func(i, j int) bool { return traces[i].TraceID < traces[j].TraceID })
 	resp := ScoreResponse{Results: make([]ScoreResult, len(traces)), Skipped: skipped}
+	psp := reqSpan.Child("model.predict")
 	durs, errs := m.PredictBatch(traces, 0)
+	psp.End()
 	for i, tr := range traces {
 		resp.Results[i] = ScoreResult{TraceID: tr.TraceID, DurScaled: durs[i], ErrProb: errs[i]}
 	}
+	msp := reqSpan.Child("model.meanloss")
 	resp.MeanLoss = m.MeanLoss(traces)
+	msp.End()
 	writeJSON(w, resp)
 }
 

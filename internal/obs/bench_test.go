@@ -67,7 +67,63 @@ func BenchmarkObsOverhead(b *testing.B) {
 				_ = C("bench.counter")
 			}
 		})
+		b.Run(state+"/span-start-end", func(b *testing.B) {
+			setup()
+			var tr *Tracer
+			if enabled {
+				tr = NewTracer("bench", "")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("op", nil)
+				sp.End()
+			}
+		})
+		b.Run(state+"/observe-exemplar", func(b *testing.B) {
+			_, _, h := setup()
+			tid := NewTraceID()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.ObserveExemplar(float64(i%1000), tid)
+			}
+		})
 	}
+}
+
+// BenchmarkTracePropagation measures the per-request cost of the W3C
+// propagation primitives: parsing an incoming traceparent (the hostile-
+// header-hardened path every traced request takes), rendering an outgoing
+// one, and the ring's keep/shed verdict.
+func BenchmarkTracePropagation(b *testing.B) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	header := sc.Traceparent()
+	b.Run("parse-traceparent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = ParseTraceparent(header)
+		}
+	})
+	b.Run("parse-traceparent-reject", func(b *testing.B) {
+		bad := header[:54] + "Z"
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = ParseTraceparent(bad)
+		}
+	})
+	b.Run("render-traceparent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sc.Traceparent()
+		}
+	})
+	b.Run("ring-shed-verdict", func(b *testing.B) {
+		r := NewTraceRing(64, 0) // rate 0: every healthy trace takes the shed path
+		spans := mkTrace(NewTraceID(), 100, false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Add(spans)
+		}
+	})
 }
 
 // BenchmarkSeriesAppend measures the ring-buffer append hot path — the

@@ -1,0 +1,75 @@
+// Instrumented HTTP client: the outbound half of distributed self-tracing.
+// Transport wraps an http.RoundTripper so every request issued under a
+// traced context records a client span, carries the W3C traceparent header
+// (joining the downstream component's server span into the same trace), and
+// forwards the X-Request-ID correlation key.
+
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// RequestIDHeader is the request-correlation header shared by the access
+// log, the instrumented client, and every component's handlers.
+const RequestIDHeader = "X-Request-ID"
+
+// Transport is an http.RoundTripper that traces and propagates. For each
+// request it opens a client span as a child of the span in the request
+// context (no span in context → no tracing, plain pass-through), injects
+// traceparent and X-Request-ID, and closes the span with the response
+// status (error on transport failure or status ≥ 500).
+type Transport struct {
+	// Base performs the actual round trip; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t != nil && t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	parent := SpanFrom(req.Context())
+	reqID := RequestIDFrom(req.Context())
+	if parent == nil && reqID == "" {
+		return t.base().RoundTrip(req)
+	}
+	// Per the RoundTripper contract the original request is read-only;
+	// clone before injecting headers.
+	req = req.Clone(req.Context())
+	sp := parent.Child(req.Method + " " + req.URL.Path)
+	sp.SetKind(trace.KindClient)
+	sp.Annotate("http.url", req.URL.String())
+	sp.SpanContext().Inject(req.Header)
+	if reqID != "" && req.Header.Get(RequestIDHeader) == "" {
+		req.Header.Set(RequestIDHeader, reqID)
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		sp.SetError(true)
+		sp.Annotate("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.Annotate("http.status", strconv.Itoa(resp.StatusCode))
+	if resp.StatusCode >= 500 {
+		sp.SetError(true)
+	}
+	sp.End()
+	return resp, nil
+}
+
+// NewClient returns an http.Client whose requests propagate trace context
+// and request IDs (see Transport). A zero timeout means no timeout.
+func NewClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: &Transport{}}
+}

@@ -14,10 +14,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
 )
 
 // MetricsHandler serves a JSON Snapshot of reg. A nil registry serves an
@@ -37,6 +40,7 @@ func MetricsHandler(reg *Registry) http.HandlerFunc {
 //	GET /metrics              Prometheus text exposition (v0.0.4)
 //	GET /debug/metrics        registry snapshot (JSON)
 //	GET /debug/series         ring-buffer time series (JSON)
+//	GET /debug/traces         tail-sampled self-trace ring (JSON)
 //	GET /debug/pprof/...      net/http/pprof profiles
 //
 // Every endpoint resolves the process registry per request, so a registry
@@ -51,6 +55,9 @@ func Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
 		SeriesHandler(Global())(w, r)
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		TracesHandler(Ring())(w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -63,6 +70,10 @@ type SeriesData struct {
 	Name    string      `json:"name"`
 	Samples []Sample    `json:"samples"`
 	Stats   SeriesStats `json:"stats"`
+	// Exemplars carries the backing histogram's trace-linked observations
+	// when the series is a histogram projection (<hist>.p50/.p99/.count) —
+	// the hop from a spike in a watch dashboard to the span tree behind it.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // SeriesInfo is one entry of the /debug/series listing.
@@ -127,10 +138,25 @@ func SeriesHandler(reg *Registry) http.HandlerFunc {
 			if data.Samples == nil {
 				data.Samples = []Sample{}
 			}
+			if h := reg.LookupHistogram(histSeriesBase(name)); h != nil {
+				data.Exemplars = h.Exemplars()
+			}
 			resp.Series[name] = data
 		}
 		writeJSON(w, resp)
 	}
+}
+
+// histSeriesBase strips the sampler's histogram-projection suffix from a
+// series name ("x.p99" → "x"); names without one come back unchanged (and
+// simply won't resolve to a histogram).
+func histSeriesBase(name string) string {
+	for _, suffix := range []string{".p50", ".p99", ".count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -230,23 +256,58 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// traceablePath reports whether a request path gets a per-request self
+// trace. Scrape and debug surfaces are exempt: a watch dashboard polling
+// /metrics every second must not churn the trace ring.
+func traceablePath(p string) bool {
+	return p != "/metrics" && p != "/healthz" && !strings.HasPrefix(p, "/debug/")
+}
+
 // AccessLog wraps next with request observability for one component:
 //
-//   - a request ID taken from the X-Request-ID header (or generated) and
-//     echoed back in the X-Request-ID response header;
-//   - one structured log line per request — method, path, status, duration
-//     and the request ID — when logger is non-nil;
+//   - a request ID taken from the X-Request-ID header (or generated),
+//     echoed back in the X-Request-ID response header, attached to the
+//     request context (RequestIDFrom) and to the root span — the join key
+//     shared by log lines and self-trace spans;
+//   - a per-request distributed self-trace (when the registry is enabled
+//     and the path is not a scrape/debug surface): an incoming W3C
+//     traceparent is parsed — with fallback to a fresh root on any
+//     malformed value — and a server root span opens under the remote
+//     parent; handlers reach it via obs.SpanFrom(r.Context()) to add child
+//     spans, and the trace ID is echoed in the X-Trace-ID response header;
+//   - on completion the trace is offered to the process trace ring (tail
+//     policy: errors and latency outliers always kept, healthy traces
+//     hash-shed) and — when the SLEUTH_OBS_SELFPOST mirror is active and
+//     the request was not itself a mirror POST — enqueued for ingestion by
+//     the collector, closing the dogfood loop;
+//   - one structured log line per request — method, path, status, duration,
+//     request ID and trace ID — when logger is non-nil;
 //   - request counters (<component>.http.requests, per-status-class
 //     <component>.http.status_Nxx) and a latency histogram
-//     (<component>.http.request_us) in the process registry.
+//     (<component>.http.request_us) in the process registry, with the trace
+//     ID recorded as the histogram bucket's exemplar.
 func AccessLog(component string, logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := r.Header.Get("X-Request-ID")
+		id := r.Header.Get(RequestIDHeader)
 		if id == "" {
 			id = nextRequestID()
 		}
-		w.Header().Set("X-Request-ID", id)
+		w.Header().Set(RequestIDHeader, id)
+
+		var tracer *Tracer
+		var root *StageSpan
+		if Global() != nil && traceablePath(r.URL.Path) {
+			parent, _ := ParseTraceparentHeader(r.Header)
+			tracer = NewRequestTracer(component, parent)
+			root = tracer.Start(r.Method+" "+r.URL.Path, nil)
+			root.SetKind(trace.KindServer)
+			root.Annotate("request.id", id)
+			w.Header().Set("X-Trace-ID", tracer.TraceID())
+			ctx := ContextWithRequestID(r.Context(), id)
+			r = r.WithContext(ContextWithSpan(ctx, root))
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		status := sw.status
@@ -256,13 +317,42 @@ func AccessLog(component string, logger *log.Logger, next http.Handler) http.Han
 		dur := time.Since(start)
 		C(component + ".http.requests").Inc()
 		C(fmt.Sprintf("%s.http.status_%dxx", component, status/100)).Inc()
-		H(component + ".http.request_us").ObserveDuration(dur)
+		if tracer != nil {
+			root.Annotate("http.status", strconv.Itoa(status))
+			if status >= 500 {
+				root.SetError(true)
+			}
+			root.End()
+			H(component+".http.request_us").ObserveExemplar(
+				float64(dur)/float64(time.Microsecond), tracer.TraceID())
+			finishRequestTrace(tracer, root, r.Header.Get(SelfPostHeader) == "")
+		} else {
+			H(component + ".http.request_us").ObserveDuration(dur)
+		}
 		if logger != nil {
-			logger.Printf("ts=%s component=%s method=%s path=%s status=%d dur_ms=%.3f id=%s",
+			traceField := ""
+			if tracer != nil {
+				traceField = " trace=" + tracer.TraceID()
+			}
+			logger.Printf("ts=%s component=%s method=%s path=%s status=%d dur_ms=%.3f id=%s%s",
 				start.UTC().Format(time.RFC3339Nano), component, r.Method,
-				r.URL.Path, status, float64(dur)/float64(time.Millisecond), id)
+				r.URL.Path, status, float64(dur)/float64(time.Millisecond), id, traceField)
 		}
 	})
+}
+
+// finishRequestTrace publishes a completed request trace: always offered to
+// the process ring (which applies the tail-sampling keep/shed verdict), and
+// — when the trace was kept, the dogfood mirror is active and mirroring is
+// allowed (the request was not itself a mirror POST) — enqueued for
+// ingestion by the collector with the root span's context propagated, so
+// the collector's own server span joins the same distributed trace.
+func finishRequestTrace(tracer *Tracer, root *StageSpan, mirrorAllowed bool) {
+	spans := tracer.Spans()
+	kept := Ring().Add(spans)
+	if kept && mirrorAllowed {
+		SelfPost().Enqueue(spans, root.SpanContext())
+	}
 }
 
 // NewAccessLogger returns the default structured request logger (stderr, no

@@ -166,6 +166,32 @@ type Histogram struct {
 	minBits uint64 // math.Float64bits, CAS-min
 	maxBits uint64 // math.Float64bits, CAS-max
 	buckets [numBuckets]int64
+	// exemplars holds, per bucket, the most recent observation that carried
+	// a trace ID — the join key from a histogram spike back to the span tree
+	// that caused it. Retention is last-write-wins per bucket: the slow
+	// buckets are by construction the outlier classes, so keeping the latest
+	// exemplar in each occupied bucket preserves one representative trace
+	// per latency regime with O(numBuckets) memory.
+	exemplars [numBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar is the stored form of one exemplar-carrying observation.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      int64 // unix microseconds
+}
+
+// Exemplar is the exported view of one histogram exemplar: the trace ID of
+// a recent observation that landed in the bucket bounded by LE.
+type Exemplar struct {
+	// LE is the inclusive upper bound of the bucket; -1 marks the unbounded
+	// overflow bucket (JSON cannot carry +Inf).
+	LE      float64 `json:"le"`
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
+	// TS is the observation time in microseconds since the epoch.
+	TS int64 `json:"ts"`
 }
 
 func newHistogram(name string) *Histogram {
@@ -209,6 +235,50 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one measurement and, when traceID is non-empty,
+// stores it as the bucket's exemplar — the join key from this latency class
+// back to the self-trace that produced it. Cost over Observe is one
+// timestamp read and one small allocation per call (the exemplar record);
+// pass traceID == "" to skip exemplar storage entirely.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.exemplars[bucketOf(v)].Store(&exemplar{
+		traceID: traceID,
+		value:   v,
+		ts:      time.Now().UnixMicro(),
+	})
+}
+
+// Exemplars returns the current exemplar of every bucket holding one, in
+// bucket order. The overflow bucket reports LE = -1.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := 0; i < numBuckets; i++ {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := -1.0
+		if i < numBuckets-1 {
+			le = bucketBounds[i]
+		}
+		out = append(out, Exemplar{LE: le, TraceID: e.traceID, Value: e.value, TS: e.ts})
+	}
+	return out
 }
 
 // ObserveDuration records a time.Duration in microseconds.
@@ -431,6 +501,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// LookupHistogram returns the named histogram without creating it, or nil —
+// for read paths (series exemplar attachment) that must not mint metrics.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	return h
+}
+
 // HistogramSnapshot is the exported state of one histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -447,6 +529,9 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 	// Overflow counts observations above the largest bucket bound.
 	Overflow int64 `json:"overflow,omitempty"`
+	// Exemplars lists the latest trace-linked observation per occupied
+	// bucket (see Histogram.ObserveExemplar).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // BucketCount is one occupied histogram bucket.
@@ -500,6 +585,7 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 		}
 		hs.Overflow = atomic.LoadInt64(&h.buckets[numBuckets-1])
+		hs.Exemplars = h.Exemplars()
 		snap.Histograms[name] = hs
 	}
 	return snap
@@ -530,6 +616,8 @@ func Enable() *Registry {
 		r := NewRegistry()
 		if global.CompareAndSwap(nil, r) {
 			registerRuntimeGauges(r)
+			globalRing.CompareAndSwap(nil, newTraceRingFromEnv())
+			startSelfPostFromEnv()
 			if iv := EnvSampleInterval(0); iv > 0 {
 				samplerMu.Lock()
 				if globalSampler == nil {
@@ -549,6 +637,8 @@ func Enable() *Registry {
 // toggling.
 func Disable() {
 	StopSampler()
+	StopSelfPost()
+	globalRing.Store(nil)
 	global.Store(nil)
 }
 

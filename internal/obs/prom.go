@@ -118,13 +118,30 @@ func WritePrometheus(w io.Writer, r *Registry) {
 		cum := int64(0)
 		for i := 0; i < numBuckets-1; i++ {
 			cum += atomic.LoadInt64(&h.buckets[i])
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bucketBounds[i]), cum)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d", n, promFloat(bucketBounds[i]), cum)
+			writePromExemplar(w, h.exemplars[i].Load())
+			fmt.Fprintln(w)
 		}
 		cum += atomic.LoadInt64(&h.buckets[numBuckets-1])
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d", n, cum)
+		writePromExemplar(w, h.exemplars[numBuckets-1].Load())
+		fmt.Fprintln(w)
 		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(h.Sum()))
 		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
 	}
+}
+
+// writePromExemplar appends an OpenMetrics exemplar annotation to a bucket
+// sample line: ` # {trace_id="…"} value timestamp`. Nothing is written for
+// buckets without an exemplar, so plain Prometheus text parsers (which
+// predate exemplar syntax) see unchanged lines wherever exemplars are off.
+func writePromExemplar(w io.Writer, e *exemplar) {
+	if e == nil {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=\"%s\"} %s %s",
+		escapeLabel(e.traceID), promFloat(e.value),
+		strconv.FormatFloat(float64(e.ts)/1e6, 'f', 6, 64))
 }
 
 // PromHandler serves the Prometheus exposition of reg.

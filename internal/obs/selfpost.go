@@ -1,0 +1,238 @@
+// The Sleuth-on-Sleuth dogfood loop: an opt-in mirror that re-encodes
+// ring-kept self-traces through the internal/otel OTLP codec and POSTs them
+// to a collector's own ingest endpoint, so the full detector/localizer
+// pipeline — clustering, GNN scoring, rca.LocalizeDetailed — runs over
+// Sleuth's own execution. Enable with SLEUTH_OBS_SELFPOST=<collector URL>
+// (or the components' -selfpost flag).
+//
+// Mirrored POSTs carry the X-Sleuth-Selfpost marker; the AccessLog
+// middleware traces such requests normally but never re-mirrors them, so a
+// collector mirroring to itself cannot amplify.
+
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/otel"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// SelfPostHeader marks a mirror POST issued by the dogfood loop. Requests
+// carrying it are traced but never re-mirrored (loop guard).
+const SelfPostHeader = "X-Sleuth-Selfpost"
+
+// selfPostQueueCap bounds the mirror queue; a slow or absent collector
+// drops mirrors at the door (counted) instead of blocking request paths.
+const selfPostQueueCap = 64
+
+// selfPostItem is one queued mirror: the spans of a finished request trace
+// plus the trace identity of its root span, propagated on the mirror POST
+// so the collector's own server span joins the same distributed trace.
+type selfPostItem struct {
+	spans []*trace.Span
+	root  SpanContext
+}
+
+// SelfPoster mirrors sampled self-traces to a collector ingest endpoint in
+// the background. A nil SelfPoster is inert.
+type SelfPoster struct {
+	url    string
+	client *http.Client
+	ch     chan selfPostItem
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// idle is signalled (via cond) whenever the worker finishes an item and
+	// the queue is empty — the Flush synchronisation point for tests.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+}
+
+// NewSelfPoster creates and starts a mirror posting to the collector at
+// rawURL. A bare host URL gets the OTLP ingest path appended; an explicit
+// path is used as-is. Returns nil for an empty or unparsable URL.
+func NewSelfPoster(rawURL string) *SelfPoster {
+	if rawURL == "" {
+		return nil
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return nil
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/traces"
+	}
+	p := &SelfPoster{
+		url: u.String(),
+		// Deliberately a plain client: the mirror POST must not run through
+		// the instrumented Transport or it would trace its own mirroring.
+		client: &http.Client{Timeout: 5 * time.Second},
+		ch:     make(chan selfPostItem, selfPostQueueCap),
+		done:   make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// URL returns the resolved ingest endpoint ("" on a nil poster).
+func (p *SelfPoster) URL() string {
+	if p == nil {
+		return ""
+	}
+	return p.url
+}
+
+// Enqueue offers a finished request trace for mirroring. Never blocks: when
+// the queue is full the mirror is dropped and counted
+// (obs.selfpost.dropped).
+func (p *SelfPoster) Enqueue(spans []*trace.Span, root SpanContext) {
+	if p == nil || len(spans) == 0 {
+		return
+	}
+	p.mu.Lock()
+	select {
+	case p.ch <- selfPostItem{spans: spans, root: root}:
+		p.inflight++
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		C("obs.selfpost.dropped").Inc()
+	}
+}
+
+func (p *SelfPoster) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case item := <-p.ch:
+			p.post(item)
+			p.mu.Lock()
+			p.inflight--
+			if p.inflight == 0 {
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+		case <-p.done:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case item := <-p.ch:
+					p.post(item)
+					p.mu.Lock()
+					p.inflight--
+					if p.inflight == 0 {
+						p.cond.Broadcast()
+					}
+					p.mu.Unlock()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *SelfPoster) post(item selfPostItem) {
+	body, err := otel.EncodeOTLP(item.spans)
+	if err != nil {
+		C("obs.selfpost.encode_errors").Inc()
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, p.url, bytes.NewReader(body))
+	if err != nil {
+		C("obs.selfpost.errors").Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(SelfPostHeader, "1")
+	// The mirror POST itself belongs to the trace it carries: propagating
+	// the root's context makes the collector's server span a child of the
+	// mirrored request's root, closing the loop in one joined tree.
+	item.root.Inject(req.Header)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		C("obs.selfpost.errors").Inc()
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		C("obs.selfpost.errors").Inc()
+		return
+	}
+	C("obs.selfpost.posted").Inc()
+}
+
+// Flush blocks until every mirror enqueued before the call has been posted
+// (tests; not needed in production).
+func (p *SelfPoster) Flush() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Stop drains the queue and terminates the worker.
+func (p *SelfPoster) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.done)
+	p.wg.Wait()
+}
+
+// --- Process-wide poster ---------------------------------------------------
+
+var (
+	selfPostMu sync.Mutex
+	selfPoster *SelfPoster
+)
+
+// startSelfPostFromEnv starts the process mirror when SLEUTH_OBS_SELFPOST
+// is set (called by Enable).
+func startSelfPostFromEnv() {
+	if u := os.Getenv("SLEUTH_OBS_SELFPOST"); u != "" {
+		EnableSelfPost(u)
+	}
+}
+
+// EnableSelfPost starts (or replaces) the process-wide dogfood mirror
+// posting to the collector at rawURL. Returns the active poster (nil if
+// rawURL did not parse).
+func EnableSelfPost(rawURL string) *SelfPoster {
+	p := NewSelfPoster(rawURL)
+	selfPostMu.Lock()
+	old := selfPoster
+	selfPoster = p
+	selfPostMu.Unlock()
+	old.Stop()
+	return p
+}
+
+// StopSelfPost stops the process-wide mirror (called by Disable).
+func StopSelfPost() {
+	selfPostMu.Lock()
+	old := selfPoster
+	selfPoster = nil
+	selfPostMu.Unlock()
+	old.Stop()
+}
+
+// SelfPost returns the process-wide mirror, or nil when not enabled.
+func SelfPost() *SelfPoster {
+	selfPostMu.Lock()
+	defer selfPostMu.Unlock()
+	return selfPoster
+}

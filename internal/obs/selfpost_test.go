@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/otel"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// mirrorCapture records selfpost POSTs arriving at a fake collector.
+type mirrorCapture struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	heads  []http.Header
+}
+
+func (m *mirrorCapture) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		m.mu.Lock()
+		m.bodies = append(m.bodies, body)
+		m.heads = append(m.heads, r.Header.Clone())
+		m.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+	}
+}
+
+func (m *mirrorCapture) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.bodies)
+}
+
+func TestSelfPosterURLResolution(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://localhost:4318", "http://localhost:4318/v1/traces"},
+		{"http://localhost:4318/", "http://localhost:4318/v1/traces"},
+		{"http://localhost:4318/custom/ingest", "http://localhost:4318/custom/ingest"},
+	}
+	for _, c := range cases {
+		p := NewSelfPoster(c.in)
+		if p == nil || p.URL() != c.want {
+			t.Errorf("NewSelfPoster(%q).URL() = %q, want %q", c.in, p.URL(), c.want)
+		}
+		p.Stop()
+	}
+	for _, bad := range []string{"", "://broken", "no-host"} {
+		if p := NewSelfPoster(bad); p != nil {
+			t.Errorf("NewSelfPoster(%q) = %+v, want nil", bad, p)
+			p.Stop()
+		}
+	}
+}
+
+// TestSelfPostMirror: a traced request is re-encoded through the OTLP codec
+// and POSTed to the collector with the loop-guard marker and the request
+// root's traceparent, so the collector's own server span joins the trace.
+func TestSelfPostMirror(t *testing.T) {
+	freshRegistry(t)
+	cap := &mirrorCapture{}
+	col := httptest.NewServer(cap.handler())
+	defer col.Close()
+	EnableSelfPost(col.URL)
+	defer StopSelfPost()
+
+	h := AccessLog("testsvc", nil,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			SpanFrom(r.Context()).Child("stage").End()
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/work", nil))
+	traceID := rec.Header().Get("X-Trace-ID")
+	SelfPost().Flush()
+
+	if cap.count() != 1 {
+		t.Fatalf("collector received %d mirror POSTs, want 1", cap.count())
+	}
+	if got := cap.heads[0].Get(SelfPostHeader); got != "1" {
+		t.Fatalf("mirror POST missing loop-guard header, got %q", got)
+	}
+	sc, ok := ParseTraceparent(cap.heads[0].Get(TraceparentHeader))
+	if !ok || sc.TraceID != traceID {
+		t.Fatalf("mirror traceparent = %+v ok=%v, want trace %s", sc, ok, traceID)
+	}
+	spans, err := otel.DecodeOTLP(cap.bodies[0])
+	if err != nil {
+		t.Fatalf("mirror body is not valid OTLP: %v", err)
+	}
+	if len(spans) != 2 || spans[0].TraceID != traceID {
+		t.Fatalf("mirror carried %d spans for %s, want the 2-span request trace %s",
+			len(spans), spans[0].TraceID, traceID)
+	}
+	// The propagated parent is the request's root span.
+	var root *trace.Span
+	for _, sp := range spans {
+		if sp.ParentID == "" {
+			root = sp
+		}
+	}
+	if root == nil || sc.SpanID != root.SpanID {
+		t.Fatalf("mirror traceparent span %s is not the request root", sc.SpanID)
+	}
+}
+
+// TestSelfPostLoopGuard: a request that is itself a mirror POST is traced
+// but never re-mirrored — a collector mirroring to itself cannot amplify.
+func TestSelfPostLoopGuard(t *testing.T) {
+	freshRegistry(t)
+	cap := &mirrorCapture{}
+	col := httptest.NewServer(cap.handler())
+	defer col.Close()
+	EnableSelfPost(col.URL)
+	defer StopSelfPost()
+
+	h := AccessLog("collector", nil,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/traces", nil)
+	req.Header.Set(SelfPostHeader, "1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	SelfPost().Flush()
+
+	if cap.count() != 0 {
+		t.Fatalf("mirror POST was re-mirrored %d times — loop guard broken", cap.count())
+	}
+	// ...but the request was still traced into the ring.
+	if tid := rec.Header().Get("X-Trace-ID"); Ring().Get(tid) == nil {
+		t.Fatal("mirror POST was not traced at all")
+	}
+}
+
+// TestSelfPostQueueBound: a full queue drops mirrors instead of blocking
+// the request path.
+func TestSelfPostQueueBound(t *testing.T) {
+	freshRegistry(t)
+	block := make(chan struct{})
+	col := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer col.Close()
+	p := NewSelfPoster(col.URL)
+	defer func() { close(block); p.Stop() }()
+
+	spans := []*trace.Span{{TraceID: "t", SpanID: "s", Name: "x", Start: 1, End: 2}}
+	// Fill: one in flight at the worker plus the whole queue, then overflow.
+	for i := 0; i < selfPostQueueCap+16; i++ {
+		p.Enqueue(spans, SpanContext{})
+	}
+	if dropped := C("obs.selfpost.dropped").Value(); dropped == 0 {
+		t.Fatal("overfilled queue dropped nothing — Enqueue must never block")
+	}
+}
+
+func TestSelfPostNilSafe(t *testing.T) {
+	var p *SelfPoster
+	p.Enqueue([]*trace.Span{{TraceID: "t"}}, SpanContext{})
+	p.Flush()
+	p.Stop()
+	if p.URL() != "" {
+		t.Fatal("nil poster URL should be empty")
+	}
+}

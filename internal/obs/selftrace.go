@@ -8,12 +8,21 @@
 package obs
 
 import (
-	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/trace"
 )
+
+// randIDPrefix draws the 32-bit span-ID salt of a new tracer.
+func randIDPrefix() uint32 {
+	for {
+		if p := rand.Uint32(); p != 0 {
+			return p
+		}
+	}
+}
 
 // Tracer records one self-trace: a tree of pipeline-stage spans sharing a
 // trace ID. A nil *Tracer is fully inert — Start returns a nil *StageSpan
@@ -23,24 +32,63 @@ type Tracer struct {
 	mu      sync.Mutex
 	service string
 	traceID string
-	nextID  int
-	spans   []*trace.Span
+	// remoteParent is the span ID extracted from an incoming traceparent
+	// header; the first root-level span parents under it, joining this
+	// process's spans into the caller's distributed trace.
+	remoteParent string
+	// idPrefix salts span IDs so tracers in different processes contributing
+	// to the same distributed trace never collide: every span ID is the
+	// 16-hex concatenation of the prefix and a per-tracer sequence number —
+	// W3C wire format, deterministic ordering within one tracer.
+	idPrefix uint32
+	nextID   uint32
+	spans    []*trace.Span
 	// now returns microseconds since the epoch; injectable for tests.
 	now func() int64
 }
 
 // NewTracer creates a self-tracer. service names the pipeline component
-// (span Service field); traceID may be empty, in which case a wall-clock
-// derived ID is generated.
+// (span Service field); traceID may be empty, in which case a random W3C
+// trace ID (32 hex chars) is generated so the trace can propagate across
+// process boundaries via traceparent.
 func NewTracer(service, traceID string) *Tracer {
 	if traceID == "" {
-		traceID = fmt.Sprintf("selftrace-%x", time.Now().UnixNano())
+		traceID = NewTraceID()
 	}
 	return &Tracer{
-		service: service,
-		traceID: traceID,
-		now:     func() int64 { return time.Now().UnixMicro() },
+		service:  service,
+		traceID:  traceID,
+		idPrefix: randIDPrefix(),
+		now:      func() int64 { return time.Now().UnixMicro() },
 	}
+}
+
+// NewRequestTracer creates the per-request tracer used by the AccessLog
+// middleware: when parent is valid (extracted from an incoming traceparent)
+// the tracer continues the remote trace and its first root span links under
+// the remote span; otherwise it starts a fresh root trace.
+func NewRequestTracer(service string, parent SpanContext) *Tracer {
+	t := NewTracer(service, parent.TraceID)
+	if parent.Valid() {
+		t.remoteParent = parent.SpanID
+	}
+	return t
+}
+
+// TraceID returns the tracer's trace ID ("" on a nil tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Service returns the component name the tracer records spans under.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
 }
 
 // SetClock overrides the microsecond clock (tests).
@@ -61,6 +109,8 @@ type StageSpan struct {
 }
 
 // Start opens a root-level stage span (parent == nil) or a child of parent.
+// Root-level spans of a tracer continuing a remote trace link under the
+// remote parent span, producing the cross-process parent/child edge.
 func (t *Tracer) Start(name string, parent *StageSpan) *StageSpan {
 	if t == nil {
 		return nil
@@ -68,9 +118,11 @@ func (t *Tracer) Start(name string, parent *StageSpan) *StageSpan {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextID++
+	var id [16]byte
+	putHex64(id[:], uint64(t.idPrefix)<<32|uint64(t.nextID))
 	sp := &trace.Span{
 		TraceID: t.traceID,
-		SpanID:  fmt.Sprintf("s%06d", t.nextID),
+		SpanID:  string(id[:]),
 		Service: t.service,
 		Name:    name,
 		Kind:    trace.KindInternal,
@@ -78,6 +130,8 @@ func (t *Tracer) Start(name string, parent *StageSpan) *StageSpan {
 	}
 	if parent != nil && parent.sp != nil {
 		sp.ParentID = parent.sp.SpanID
+	} else if t.remoteParent != "" {
+		sp.ParentID = t.remoteParent
 	}
 	t.spans = append(t.spans, sp)
 	return &StageSpan{t: t, sp: sp}
@@ -107,6 +161,35 @@ func (s *StageSpan) End() {
 			s.sp.End = s.sp.Start + 1
 		}
 	}
+}
+
+// SetKind overrides the span kind (server/client edges of a cross-process
+// call; the default is internal).
+func (s *StageSpan) SetKind(k trace.Kind) {
+	if s == nil || !k.Valid() {
+		return
+	}
+	s.t.mu.Lock()
+	s.sp.Kind = k
+	s.t.mu.Unlock()
+}
+
+// SpanContext returns the span's wire identity for propagation: inject it
+// into an outgoing request so the downstream component's spans link under
+// this one. A nil span returns the zero (invalid) context.
+func (s *StageSpan) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.t.traceID, SpanID: s.sp.SpanID, Sampled: true}
+}
+
+// TraceID returns the trace ID the span belongs to ("" on a nil span).
+func (s *StageSpan) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.t.traceID
 }
 
 // SetError marks the stage as failed.
