@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke
+.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -29,18 +29,22 @@ fmt:
 # benchmark — the disabled-path numbers back the "off by default costs
 # nothing" claim — plus the distributed-tracing propagation smoke test
 # (collector + model server in-process, one scored request, one joined
-# trace through the dogfood loop).
-verify: fmt vet build race alloc obs-overhead propagation-smoke
+# trace through the dogfood loop) and the serve-latency smoke test (the
+# micro-batched /score path must beat the legacy per-request path at p99
+# under concurrent load).
+verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing, the
 # per-trace predict cost must stay a small constant, the clustering
 # engine's steady-state kernels (Eq. 1 merge, bounded-heap row selection,
-# packed-matrix access) must not allocate per call, and the ingest tail
-# sampler's per-trace verdict must allocate nothing. These tests auto-skip
-# under -race, so `make race` alone would never exercise them.
+# packed-matrix access) must not allocate per call, the ingest tail
+# sampler's per-trace verdict must allocate nothing, and a warm serving
+# request through the batcher must cost only the score kernel's per-trace
+# constants. These tests auto-skip under -race, so `make race` alone would
+# never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster ./internal/ingest
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster ./internal/ingest ./internal/modelserver
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -55,10 +59,11 @@ bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # bench-compare re-measures the hot paths (training step, pairwise distance
-# matrix, batched inference, HDBSCAN clustering pipeline) and prints ns/op,
-# B/op and allocs/op deltas against the committed baselines in $(BENCHOUT)
-# — the regression gate for the zero-allocation training work and the
-# scale-out clustering engine.
+# matrix, batched inference, HDBSCAN clustering pipeline, streaming ingest,
+# closed-loop serving) and prints ns/op, B/op and allocs/op deltas against
+# the committed baselines in $(BENCHOUT) — the regression gate for the
+# zero-allocation training work, the scale-out clustering engine, and the
+# micro-batched serving path.
 bench-compare:
 	$(GO) run ./cmd/benchrunner -exp hot -baseline $(BENCHOUT)
 
@@ -70,3 +75,9 @@ obs-overhead:
 # from every component, ingested and re-scored by the pipeline itself.
 propagation-smoke:
 	$(GO) test -run 'TestPropagationSmoke' -count=1 .
+
+# serve-smoke is the online-serving latency gate: 8 concurrent clients
+# against the micro-batched /score server must see a better p99 than
+# against the legacy per-request path (disk model load + double forward).
+serve-smoke:
+	$(GO) test -run 'TestServeLatencySmoke' -count=1 ./internal/modelserver

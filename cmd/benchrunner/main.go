@@ -13,10 +13,13 @@
 //	benchrunner -exp train -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 instances
-// ablation, plus the hot paths train/pairwise/predict-batch/hdbscan/ingest
-// ("hot" selects all five; "cluster" is shorthand for the hdbscan
+// ablation, plus the hot paths train/pairwise/predict-batch/hdbscan/ingest/
+// serve ("hot" selects all six; "cluster" is shorthand for the hdbscan
 // clustering-pipeline experiment; "ingest" measures the staged streaming
-// pipeline's spans/sec and the sharded store's abnormal-fetch flatness).
+// pipeline's spans/sec and the sharded store's abnormal-fetch flatness;
+// "serve" is the closed-loop /score comparison of the legacy per-request
+// path against the micro-batched server, with a hard ≥2× throughput /
+// equal-or-better p99 acceptance check).
 //
 // With -benchout, every experiment additionally writes a machine-readable
 // BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
@@ -30,20 +33,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	sleuth "github.com/sleuth-rca/sleuth"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
 	"github.com/sleuth-rca/sleuth/internal/eval"
 	"github.com/sleuth-rca/sleuth/internal/ingest"
+	"github.com/sleuth-rca/sleuth/internal/modelserver"
 	"github.com/sleuth-rca/sleuth/internal/obs"
 	"github.com/sleuth-rca/sleuth/internal/store"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -172,11 +182,11 @@ func main() {
 	for _, e := range strings.Split(*expFlag, ",") {
 		switch e = strings.TrimSpace(e); e {
 		case "all":
-			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan", "ingest"} {
+			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve"} {
 				selected[x] = true
 			}
 		case "hot":
-			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan", "ingest"} {
+			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve"} {
 				selected[x] = true
 			}
 		case "cluster":
@@ -487,6 +497,171 @@ func main() {
 		}
 		fmt.Printf("  10× corpus latency ratio: %.2fx\n", float64(lat[1])/float64(lat[0]))
 		record(res)
+	}
+
+	// The serve experiment is closed-loop rather than a runHot call: 8
+	// concurrent clients hammer an in-process model server and three arms
+	// are compared — the pre-rework path (per-request gob load from disk +
+	// one forward for predictions and another for the loss, reproduced
+	// inline), the reworked single-pass path with micro-batching disabled,
+	// and the full deadline-aware micro-batched path. The acceptance bar is
+	// hard: batched must deliver ≥2× the legacy throughput at an
+	// equal-or-better p99, or the run fails.
+	if selected["serve"] {
+		fmt.Printf("\n=== SERVE — closed-loop /score: legacy vs single-pass vs micro-batched (8 clients) ===\n")
+		dir, err := os.MkdirTemp("", "benchserve")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		reg, err := modelserver.Open(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+			os.Exit(1)
+		}
+		app := sleuth.NewSyntheticApp(16, *seed)
+		world := sleuth.NewWorld(app, *seed)
+		traces, err := world.SimulateNormal(36)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+			os.Exit(1)
+		}
+		model, err := sleuth.Train(traces[:20], sleuth.TrainConfig{Epochs: 1, BatchSize: 32, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := reg.Publish("prod", model, "synthetic-16", nil); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+			os.Exit(1)
+		}
+		query := traces[20:]
+
+		const clients = 8
+		rounds := 40
+		if *full {
+			rounds = 160
+		}
+		// Pre-marshalled 2-trace request bodies, one per client.
+		payloads := make([][]byte, clients)
+		for c := range payloads {
+			var body modelserver.ScoreRequest
+			for _, tr := range query[(c*2)%len(query) : (c*2)%len(query)+2] {
+				body.Spans = append(body.Spans, tr.Spans...)
+			}
+			payloads[c], _ = json.Marshal(body)
+		}
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+		// drive runs the closed loop against one arm and reports throughput
+		// plus the latency distribution's p50/p99.
+		drive := func(url string, rounds int) (thr float64, p50, p99 time.Duration) {
+			lat := make([]time.Duration, 0, clients*rounds)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						qs := time.Now()
+						resp, err := client.Post(url+"/models/prod/latest/score", "application/json", bytes.NewReader(payloads[c]))
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "benchrunner: serve: %v\n", err)
+							os.Exit(1)
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							fmt.Fprintf(os.Stderr, "benchrunner: serve: status %d\n", resp.StatusCode)
+							os.Exit(1)
+						}
+						d := time.Since(qs)
+						mu.Lock()
+						lat = append(lat, d)
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			return float64(len(lat)) / elapsed.Seconds(), lat[len(lat)/2], lat[len(lat)*99/100]
+		}
+
+		legacySrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			// The pre-rework serving path, inlined: load the gob from disk
+			// on every request, run the GNN once for predictions and AGAIN
+			// for the loss.
+			m, _, err := reg.Latest("prod")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			var body modelserver.ScoreRequest
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			trs, skipped := trace.AssembleAll(body.Spans)
+			sort.Slice(trs, func(i, j int) bool { return trs[i].TraceID < trs[j].TraceID })
+			resp := modelserver.ScoreResponse{Results: make([]modelserver.ScoreResult, len(trs)), Skipped: skipped}
+			durs, errProbs := m.PredictBatch(trs, 0)
+			for i, tr := range trs {
+				resp.Results[i] = modelserver.ScoreResult{TraceID: tr.TraceID, DurScaled: durs[i], ErrProb: errProbs[i]}
+			}
+			resp.MeanLoss = m.MeanLoss(trs)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(resp)
+		}))
+		defer legacySrv.Close()
+		soloSrv := httptest.NewServer((&modelserver.Server{
+			Registry: reg,
+			Serve:    modelserver.ServeConfig{Batch: 1},
+		}).Handler())
+		defer soloSrv.Close()
+		batchedSrv := httptest.NewServer((&modelserver.Server{
+			Registry: reg,
+			Serve:    modelserver.ServeConfig{Batch: 16, Wait: time.Millisecond},
+		}).Handler())
+		defer batchedSrv.Close()
+
+		// Warm every arm (connections, model cache, arena pool) before
+		// measuring, then measure legacy → single-pass → batched.
+		for _, u := range []string{legacySrv.URL, soloSrv.URL, batchedSrv.URL} {
+			drive(u, rounds/4+1)
+		}
+		legacyThr, legacyP50, legacyP99 := drive(legacySrv.URL, rounds)
+		soloThr, soloP50, soloP99 := drive(soloSrv.URL, rounds)
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		batchedThr, batchedP50, batchedP99 := drive(batchedSrv.URL, rounds)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+
+		fmt.Printf("  legacy      %8.1f req/s   p50 %-10s p99 %s\n", legacyThr, legacyP50.Round(time.Microsecond), legacyP99.Round(time.Microsecond))
+		fmt.Printf("  single-pass %8.1f req/s   p50 %-10s p99 %s\n", soloThr, soloP50.Round(time.Microsecond), soloP99.Round(time.Microsecond))
+		fmt.Printf("  batched     %8.1f req/s   p50 %-10s p99 %s\n", batchedThr, batchedP50.Round(time.Microsecond), batchedP99.Round(time.Microsecond))
+		fmt.Printf("batched vs legacy: %.2fx throughput, p99 %s vs %s\n",
+			batchedThr/legacyThr, batchedP99.Round(time.Microsecond), legacyP99.Round(time.Microsecond))
+		if batchedThr < 2*legacyThr || batchedP99 > legacyP99 {
+			fmt.Fprintf(os.Stderr, "benchrunner: serve: batched must be >=2x legacy throughput at equal-or-better p99 (got %.2fx, p99 %v vs %v)\n",
+				batchedThr/legacyThr, batchedP99, legacyP99)
+			os.Exit(1)
+		}
+		requests := uint64(clients * rounds)
+		record(benchResult{
+			Op:          "serve",
+			NsPerOp:     int64(1e9 / batchedThr),
+			AllocsPerOp: (after.Mallocs - before.Mallocs) / requests,
+			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / requests,
+			Timestamp:   *stamp,
+			Seed:        *seed,
+			Full:        *full,
+		})
 	}
 
 	run("ablation", "design-choice ablations", func() (string, error) {

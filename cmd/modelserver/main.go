@@ -15,6 +15,9 @@
 //	GET  /models/{name}/{version}/lineage ancestry (JSON)
 //	POST /models/{name}/{version}/retire  retire a version
 //	POST /models/{name}/{version}/score   batched inference (JSON spans)
+//	POST /cluster/add                     stream spans into incremental clustering
+//	GET  /cluster/stats                   incremental clustering snapshot (JSON)
+//	POST /cluster/rebuild                 force a full recluster
 //	GET  /healthz                         liveness + build info (JSON)
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /debug/metrics                   metrics snapshot (JSON)
@@ -44,6 +47,14 @@ func main() {
 			"metric sampling interval for /debug/series (0 disables; SLEUTH_OBS_SAMPLE overrides the default)")
 		selfpost = flag.String("selfpost", os.Getenv("SLEUTH_OBS_SELFPOST"),
 			"mirror sampled self-traces to this collector URL for the dogfood loop (SLEUTH_OBS_SELFPOST overrides the default)")
+		serveBatch = flag.Int("serve-batch", 0,
+			"max traces coalesced into one shared /score inference (0 = SLEUTH_SERVE_BATCH or 32; <=1 disables micro-batching)")
+		serveWait = flag.Duration("serve-wait", 0,
+			"max time a queued /score request waits for co-batched company (0 = SLEUTH_SERVE_WAIT or 2ms)")
+		predictWorkers = flag.Int("predict-workers", 0,
+			"inference workers per shared score call (0 = SLEUTH_PREDICT_WORKERS or GOMAXPROCS)")
+		clusterStream = flag.Bool("cluster", false,
+			"enable the streaming clustering endpoints (/cluster/add, /cluster/stats, /cluster/rebuild)")
 	)
 	flag.Parse()
 	if *enableObs {
@@ -60,7 +71,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
 		os.Exit(1)
 	}
-	server := &modelserver.Server{Registry: reg}
+	server := &modelserver.Server{
+		Registry: reg,
+		Serve: modelserver.ServeConfig{
+			Batch:   *serveBatch,
+			Wait:    *serveWait,
+			Workers: *predictWorkers,
+		},
+	}
+	if *clusterStream {
+		server.Cluster = modelserver.NewStreamCluster()
+	}
 	if *accessLog {
 		server.AccessLog = obs.NewAccessLogger()
 	}

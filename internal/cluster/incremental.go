@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"math"
+
+	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// IncrementalOptions tunes the streaming engine's attach rule and drift
+// detector. Zero values select the defaults documented per field.
+type IncrementalOptions struct {
+	// AttachSlack scales each cluster's attach radius (its max member-to-
+	// medoid distance at the last rebuild): a new point joins the nearest
+	// medoid's cluster only when its distance is ≤ radius·AttachSlack.
+	// Default 1.25 — tight enough that genuinely novel failure modes land
+	// in noise and trip the drift detector instead of polluting a cluster.
+	AttachSlack float64
+	// RebuildGrowth triggers a full recluster once the points added since
+	// the last rebuild exceed this fraction of the reclustered base
+	// (default 0.5, i.e. rebuild at 1.5× the base size).
+	RebuildGrowth float64
+	// NoiseWindow and NoiseFraction trigger a rebuild when more than
+	// NoiseFraction of the last NoiseWindow inserts landed in noise — the
+	// signature of drift: arriving traffic no longer matches the clustered
+	// structure. Defaults 32 and 0.5.
+	NoiseWindow   int
+	NoiseFraction float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (o IncrementalOptions) withDefaults() IncrementalOptions {
+	if o.AttachSlack <= 0 {
+		o.AttachSlack = 1.25
+	}
+	if o.RebuildGrowth <= 0 {
+		o.RebuildGrowth = 0.5
+	}
+	if o.NoiseWindow <= 0 {
+		o.NoiseWindow = 32
+	}
+	if o.NoiseFraction <= 0 {
+		o.NoiseFraction = 0.5
+	}
+	return o
+}
+
+// AddResult reports what one insert did.
+type AddResult struct {
+	// Index is the new point's position in the stream (0-based).
+	Index int
+	// Label is the point's cluster label after the insert (-1 = noise). If
+	// the insert triggered a rebuild this is the post-rebuild label.
+	Label int
+	// Rebuilt reports whether this insert triggered a full recluster.
+	Rebuilt bool
+}
+
+// IncrementalStats is a point-in-time snapshot for status endpoints.
+type IncrementalStats struct {
+	Points      int `json:"points"`
+	Clusters    int `json:"clusters"`
+	Noise       int `json:"noise"`
+	Rebuilds    int `json:"rebuilds"`
+	LastRebuild int `json:"last_rebuild_points"` // stream size at the last rebuild
+	MatrixBytes int `json:"matrix_bytes"`
+	VocabSize   int `json:"vocab_size"`
+}
+
+// incCluster is the maintained state of one live cluster.
+type incCluster struct {
+	label   int
+	members []int // point indexes, ascending
+	// sums[k] is Σ distance from members[k] to every other member,
+	// maintained per attach so the medoid can shift as points arrive.
+	sums   []float64
+	medoid int
+	// radius is the max member-to-medoid distance at the last rebuild —
+	// the attach threshold's base. Radius-zero clusters (all members
+	// identical) fall back to the selection epsilon so exact repeats still
+	// attach.
+	radius float64
+}
+
+// Incremental maintains a clustering over a stream of traces: per insert it
+// extends the distance matrix (one appended row), updates every point's
+// exact core distance in O(n log k), attaches the point to the nearest
+// medoid's cluster (or noise), and maintains that cluster's medoid — a
+// bounded O(n) update instead of the O(n²·log n) full pipeline. A drift
+// detector (stream growth, noise rate in a sliding window) falls back to a
+// full HDBSCAN recluster that reuses the maintained core distances via
+// HDBSCANWithCore, so rebuild labels are bit-identical to a from-scratch
+// batch run over the same stream prefix.
+//
+// Between rebuilds the labels are an approximation: attach-to-nearest-
+// medoid is the §3.3.2 representative rule run in reverse, exact when new
+// points land inside existing density modes and conservative (noise)
+// otherwise — and noise is precisely what arms the drift detector.
+//
+// Not safe for concurrent use; callers serialise (the model server wraps
+// one Incremental in a mutex).
+type Incremental struct {
+	opts Options
+	inc  IncrementalOptions
+
+	in   *Interner
+	dmax int
+	sets []WeightedSet
+
+	sm *StreamMatrix
+	// heaps[i] is a bounded max-heap of the MinSamples+1 smallest distances
+	// in row i (the point's own zero included). Its root is exactly
+	// kthNearest's order statistic at every stream size, including the
+	// small-n regime where k clamps to n-1 (the heap simply isn't full
+	// yet), so cores derived from the heaps match coreDistances bit-for-bit.
+	heaps [][]float64
+
+	labels   []int
+	clusters []*incCluster
+
+	rebuilds    int
+	lastRebuild int
+
+	// noiseRing holds the last NoiseWindow attach verdicts (true = noise).
+	noiseRing []bool
+	ringPos   int
+	ringFull  bool
+}
+
+// NewIncremental creates an empty streaming clusterer. opts are the same
+// HDBSCAN hyper-parameters batch clustering uses; inc tunes the attach rule
+// and drift detector.
+func NewIncremental(opts Options, inc IncrementalOptions) *Incremental {
+	opts = opts.normalize()
+	inc = inc.withDefaults()
+	return &Incremental{
+		opts:      opts,
+		inc:       inc,
+		in:        NewInterner(),
+		dmax:      DefaultMaxAncestors,
+		sm:        NewStreamMatrix(),
+		noiseRing: make([]bool, inc.NoiseWindow),
+	}
+}
+
+// heapPush inserts v into a bounded max-heap capped at capN values,
+// retaining the capN smallest seen — the same sift logic as kthNearest.
+func heapPush(h []float64, capN int, v float64) []float64 {
+	if len(h) < capN {
+		h = append(h, v)
+		for c := len(h) - 1; c > 0; {
+			p := (c - 1) / 2
+			if h[p] >= h[c] {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			c = p
+		}
+		return h
+	}
+	if v >= h[0] {
+		return h
+	}
+	h[0] = v
+	for c := 0; ; {
+		l, r := 2*c+1, 2*c+2
+		big := c
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == c {
+			break
+		}
+		h[c], h[big] = h[big], h[c]
+		c = big
+	}
+	return h
+}
+
+// Add inserts one trace into the stream: O(n) distance row, O(n log k)
+// core-distance maintenance, O(|cluster|) medoid maintenance — plus a full
+// recluster when the drift detector fires.
+func (s *Incremental) Add(tr *trace.Trace) AddResult {
+	timer := obs.H("cluster.incremental.add_us").Start()
+	obs.C("cluster.incremental.adds").Inc()
+
+	set := TraceSet(s.in, tr, s.dmax)
+	n := s.sm.N()
+
+	// Distance row vs every existing point (the appended matrix row).
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = Distance(s.sets[i], set)
+	}
+	s.sets = append(s.sets, set)
+	s.sm.AppendRow(row)
+
+	// Exact core-distance maintenance: the new pair distances enter both
+	// endpoints' bounded heaps.
+	capN := s.opts.MinSamples + 1
+	h := make([]float64, 0, capN)
+	h = heapPush(h, capN, 0) // the point's own zero, as kthNearest counts it
+	for i, d := range row {
+		s.heaps[i] = heapPush(s.heaps[i], capN, d)
+		h = heapPush(h, capN, d)
+	}
+	s.heaps = append(s.heaps, h)
+
+	// Attach to the nearest medoid within its cluster's radius, else noise.
+	label := s.attach(n, row)
+	s.labels = append(s.labels, label)
+	s.recordVerdict(label < 0)
+
+	res := AddResult{Index: n, Label: label}
+	if s.drifted() {
+		s.rebuild()
+		res.Label = s.labels[n]
+		res.Rebuilt = true
+	}
+	timer.Stop()
+	return res
+}
+
+// attach labels new point p (with distance row `row`) by the nearest-medoid
+// rule. Ties resolve to the first-created cluster (strict-less argmin over
+// a fixed iteration order), mirroring the serial argmin convention of the
+// batch kernels.
+func (s *Incremental) attach(p int, row []float64) int {
+	best := -1
+	bestD := math.Inf(1)
+	for ci, c := range s.clusters {
+		if d := row[c.medoid]; d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	c := s.clusters[best]
+	limit := c.radius
+	if limit == 0 {
+		limit = s.opts.SelectionEpsilon
+	}
+	if bestD > limit*s.inc.AttachSlack {
+		return -1
+	}
+
+	// Medoid maintenance: fold the new member into the distance sums and
+	// re-take the argmin (lowest index wins ties, as in medoids()).
+	newSum := 0.0
+	for k, m := range c.members {
+		d := row[m]
+		c.sums[k] += d
+		newSum += d
+	}
+	c.members = append(c.members, p)
+	c.sums = append(c.sums, newSum)
+	bi, bs := -1, 0.0
+	for k, sum := range c.sums {
+		if bi < 0 || sum < bs {
+			bi, bs = k, sum
+		}
+	}
+	c.medoid = c.members[bi]
+	return c.label
+}
+
+// recordVerdict feeds the drift detector's sliding noise window.
+func (s *Incremental) recordVerdict(noise bool) {
+	s.noiseRing[s.ringPos] = noise
+	s.ringPos++
+	if s.ringPos == len(s.noiseRing) {
+		s.ringPos = 0
+		s.ringFull = true
+	}
+}
+
+// drifted decides whether the maintained clustering still fits the stream.
+func (s *Incremental) drifted() bool {
+	n := s.sm.N()
+	if s.lastRebuild == 0 {
+		// Bootstrap: no structure yet; recluster as soon as a cluster could
+		// exist.
+		return n >= s.opts.MinClusterSize
+	}
+	if added := n - s.lastRebuild; float64(added) >= s.inc.RebuildGrowth*float64(s.lastRebuild) {
+		return true
+	}
+	if s.ringFull {
+		noisy := 0
+		for _, v := range s.noiseRing {
+			if v {
+				noisy++
+			}
+		}
+		if float64(noisy) > s.inc.NoiseFraction*float64(len(s.noiseRing)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebuild forces a full recluster now, regardless of the drift detector.
+func (s *Incremental) Rebuild() {
+	s.rebuild()
+}
+
+// rebuild runs the batch HDBSCAN pipeline over the whole stream, reusing
+// the maintained core distances, then rebuilds the per-cluster attach state
+// (members, medoids, distance sums, radii) from the fresh labels.
+func (s *Incremental) rebuild() {
+	timer := obs.H("cluster.incremental.rebuild_us").Start()
+	obs.C("cluster.incremental.rebuilds").Inc()
+	n := s.sm.N()
+	m := s.sm.ToMatrix()
+	core := make([]float64, n)
+	for i, h := range s.heaps {
+		core[i] = h[0]
+	}
+	s.labels = HDBSCANWithCore(m, core, s.opts)
+	meds := Medoids(m, s.labels)
+
+	s.clusters = s.clusters[:0]
+	byLabel := make(map[int]*incCluster)
+	for i, l := range s.labels {
+		if l < 0 {
+			continue
+		}
+		c, ok := byLabel[l]
+		if !ok {
+			c = &incCluster{label: l, medoid: meds[l]}
+			byLabel[l] = c
+			s.clusters = append(s.clusters, c)
+		}
+		c.members = append(c.members, i)
+	}
+	// Labels are compacted in ascending order by labelPoints, and members
+	// were appended in point order, so iterating clusters by label keeps
+	// everything deterministic.
+	for _, c := range s.clusters {
+		c.sums = make([]float64, len(c.members))
+		for k, i := range c.members {
+			sum := 0.0
+			for _, j := range c.members {
+				sum += m.At(i, j)
+			}
+			c.sums[k] = sum
+			if d := m.At(i, c.medoid); d > c.radius {
+				c.radius = d
+			}
+		}
+	}
+
+	s.rebuilds++
+	s.lastRebuild = n
+	for i := range s.noiseRing {
+		s.noiseRing[i] = false
+	}
+	s.ringPos, s.ringFull = 0, false
+	obs.S("cluster.incremental.points").Append(float64(n))
+	timer.Stop()
+}
+
+// Labels returns a copy of the current per-point labels (stream order).
+func (s *Incremental) Labels() []int {
+	return append([]int(nil), s.labels...)
+}
+
+// Stats snapshots the engine for status endpoints.
+func (s *Incremental) Stats() IncrementalStats {
+	noise := 0
+	for _, l := range s.labels {
+		if l < 0 {
+			noise++
+		}
+	}
+	return IncrementalStats{
+		Points:      s.sm.N(),
+		Clusters:    len(s.clusters),
+		Noise:       noise,
+		Rebuilds:    s.rebuilds,
+		LastRebuild: s.lastRebuild,
+		MatrixBytes: s.sm.Bytes(),
+		VocabSize:   s.in.Size(),
+	}
+}

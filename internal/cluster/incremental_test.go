@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/trace"
+	"github.com/sleuth-rca/sleuth/internal/xrand"
+)
+
+// modeTrace builds one trace of failure mode `mode`: identifiers are unique
+// to the mode (disjoint vocabularies → inter-mode distance exactly 1) while
+// durations jitter ±10% within the mode (small intra-mode distances). This
+// is the well-separated regime where both the batch pipeline and the
+// incremental attach rule must agree.
+func modeTrace(t *testing.T, mode, i int, r *xrand.Rand) *trace.Trace {
+	t.Helper()
+	tid := fmt.Sprintf("m%d-%d", mode, i)
+	jitter := func(base int64) int64 {
+		return base + int64(float64(base)*0.2*(r.Float64()-0.5))
+	}
+	root := span(tid, "r", "", fmt.Sprintf("svc-%d", mode), fmt.Sprintf("root-%d", mode),
+		trace.KindServer, 0, jitter(50000), false)
+	spans := []*trace.Span{root}
+	for j := 0; j < 4; j++ {
+		d := jitter(int64(5000 * (j + 1)))
+		spans = append(spans, span(tid, fmt.Sprintf("c%d", j), "r",
+			fmt.Sprintf("svc-%d-dep%d", mode, j), fmt.Sprintf("op-%d-%d", mode, j),
+			trace.KindClient, 100, 100+d, false))
+	}
+	return mkTrace(t, tid, spans...)
+}
+
+// modeStream interleaves perMode traces of each of nModes modes.
+func modeStream(t *testing.T, nModes, perMode int, seed uint64) ([]*trace.Trace, []int) {
+	t.Helper()
+	r := xrand.New(seed)
+	var traces []*trace.Trace
+	var modes []int
+	for i := 0; i < perMode; i++ {
+		for m := 0; m < nModes; m++ {
+			traces = append(traces, modeTrace(t, m, i, r))
+			modes = append(modes, m)
+		}
+	}
+	return traces, modes
+}
+
+// TestStreamMatrixMatchesMatrix checks the column-major packed layout
+// against the row-major reference cell by cell, plus the ToMatrix copy.
+func TestStreamMatrixMatchesMatrix(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17} {
+		sets := randomSets(n, uint64(300+n))
+		want := Pairwise(sets)
+		sm := NewStreamMatrix()
+		for p := 0; p < n; p++ {
+			row := make([]float64, p)
+			for i := 0; i < p; i++ {
+				row[i] = Distance(sets[i], sets[p])
+			}
+			sm.AppendRow(row)
+		}
+		if sm.N() != n {
+			t.Fatalf("n=%d: N() = %d", n, sm.N())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if sm.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: At(%d,%d) = %v, want %v", n, i, j, sm.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		m := sm.ToMatrix()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: ToMatrix At(%d,%d) = %v, want %v", n, i, j, m.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestHDBSCANWithCoreMatchesHDBSCAN: supplying the core distances HDBSCAN
+// would compute itself must change nothing.
+func TestHDBSCANWithCoreMatchesHDBSCAN(t *testing.T) {
+	for _, n := range []int{5, 40, 150} {
+		sets := randomSets(n, uint64(400+n))
+		m := Pairwise(sets)
+		opts := DefaultOptions().normalize()
+		want := HDBSCAN(m, opts)
+		got := HDBSCANWithCore(m, coreDistances(m, opts.MinSamples), opts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d point %d: label %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalCoreDistancesExact: the per-insert bounded-heap
+// maintenance must reproduce coreDistances bit-for-bit at every stream
+// size — the heap root is the same order statistic kthNearest selects,
+// regardless of insertion order.
+func TestIncrementalCoreDistancesExact(t *testing.T) {
+	traces, _ := modeStream(t, 3, 15, 7)
+	inc := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	for step, tr := range traces {
+		inc.Add(tr)
+		n := inc.sm.N()
+		want := coreDistances(inc.sm.ToMatrix(), inc.opts.MinSamples)
+		for i := 0; i < n; i++ {
+			if got := inc.heaps[i][0]; got != want[i] {
+				t.Fatalf("step %d point %d: maintained core %v, want %v", step, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalNoDriftLabelEquivalence streams well-separated modes and
+// requires the final incremental partition (rebuild labels + attach labels
+// for the tail) to equal a from-scratch batch HDBSCAN over the same
+// traces, up to label renaming.
+func TestIncrementalNoDriftLabelEquivalence(t *testing.T) {
+	traces, _ := modeStream(t, 3, 20, 11)
+	inc := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	for _, tr := range traces {
+		inc.Add(tr)
+	}
+	got := inc.Labels()
+
+	want := HDBSCAN(Pairwise(TraceSets(traces, DefaultMaxAncestors)), DefaultOptions())
+
+	// Require a bijection between incremental and batch labels, with noise
+	// mapping to noise.
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range want {
+		g, w := got[i], want[i]
+		if (g < 0) != (w < 0) {
+			t.Fatalf("point %d: incremental label %d vs batch %d (noise mismatch)", i, g, w)
+		}
+		if g < 0 {
+			continue
+		}
+		if prev, ok := fwd[g]; ok && prev != w {
+			t.Fatalf("point %d: incremental label %d maps to both batch %d and %d", i, g, prev, w)
+		}
+		if prev, ok := rev[w]; ok && prev != g {
+			t.Fatalf("point %d: batch label %d maps to both incremental %d and %d", i, w, prev, g)
+		}
+		fwd[g] = w
+		rev[w] = g
+	}
+	if len(fwd) != 3 {
+		t.Fatalf("incremental found %d clusters, want 3 (%s)", len(fwd), Summary(got))
+	}
+}
+
+// TestIncrementalDriftRebuild: a brand-new failure mode arriving as a burst
+// must land in noise, trip the drift detector, and come out of the rebuild
+// as its own cluster.
+func TestIncrementalDriftRebuild(t *testing.T) {
+	base, _ := modeStream(t, 2, 20, 13)
+	inc := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	for _, tr := range base {
+		inc.Add(tr)
+	}
+	if got := inc.Stats().Clusters; got != 2 {
+		t.Fatalf("baseline clusters = %d, want 2 (%s)", got, Summary(inc.Labels()))
+	}
+	rebuildsBefore := inc.Stats().Rebuilds
+
+	r := xrand.New(17)
+	sawRebuild := false
+	for i := 0; i < 40; i++ {
+		res := inc.Add(modeTrace(t, 9, i, r))
+		if res.Rebuilt {
+			sawRebuild = true
+		}
+	}
+	if !sawRebuild || inc.Stats().Rebuilds == rebuildsBefore {
+		t.Fatal("novel mode burst did not trigger a drift rebuild")
+	}
+	if got := inc.Stats().Clusters; got != 3 {
+		t.Fatalf("clusters after drift = %d, want 3 (%s)", got, Summary(inc.Labels()))
+	}
+}
+
+// TestIncrementalDeterminism: two engines fed the same stream agree bit-
+// for-bit on labels and stats.
+func TestIncrementalDeterminism(t *testing.T) {
+	traces, _ := modeStream(t, 3, 18, 19)
+	a := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	b := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	for _, tr := range traces {
+		ra, rb := a.Add(tr), b.Add(tr)
+		if ra != rb {
+			t.Fatalf("divergent AddResult: %+v vs %+v", ra, rb)
+		}
+	}
+	la, lb := a.Labels(), b.Labels()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("point %d: label %d vs %d", i, la[i], lb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("divergent stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestIncrementalForceRebuildMatchesBatch: after an explicit Rebuild, the
+// labels must be exactly the batch pipeline's output (not just equivalent):
+// same matrix, maintained cores equal to coreDistances, same selection.
+func TestIncrementalForceRebuildMatchesBatch(t *testing.T) {
+	traces, _ := modeStream(t, 2, 16, 23)
+	inc := NewIncremental(DefaultOptions(), IncrementalOptions{})
+	for _, tr := range traces {
+		inc.Add(tr)
+	}
+	inc.Rebuild()
+	got := inc.Labels()
+	want := HDBSCAN(Pairwise(TraceSets(traces, DefaultMaxAncestors)), DefaultOptions())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: label %d, want %d", i, got[i], want[i])
+		}
+	}
+}

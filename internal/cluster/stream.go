@@ -1,0 +1,66 @@
+package cluster
+
+// StreamMatrix is the append-friendly companion of Matrix: a symmetric
+// distance matrix that grows one point at a time.
+//
+// Matrix packs the upper triangle row-major — row i's cells are scattered
+// across the slab at stride-dependent offsets — so adding point n would
+// mean inserting a cell into every existing row (an O(n²) reshuffle).
+// StreamMatrix instead packs the LOWER triangle column-major by newest
+// point: point p's distances to points 0..p-1 occupy the contiguous run
+// d[p(p-1)/2 : p(p+1)/2]. Appending point n is then literally an append of
+// n float64s; nothing already written ever moves. The cost of the layout is
+// a transposed index formula on reads, which the incremental engine's
+// O(n)-per-insert scans amortise trivially.
+//
+// Both layouts store the same n(n-1)/2 cells; ToMatrix converts to the
+// row-major form the batch kernels (coreDistances, mstEdges, medoids) are
+// tuned for, paid only on drift-triggered rebuilds.
+type StreamMatrix struct {
+	n int
+	d []float64
+}
+
+// NewStreamMatrix returns an empty matrix; grow it with AppendRow.
+func NewStreamMatrix() *StreamMatrix { return &StreamMatrix{} }
+
+// N returns the current number of points.
+func (s *StreamMatrix) N() int { return s.n }
+
+// AppendRow adds point n with its distances to the existing points 0..n-1
+// (dists[i] = d(new, i)); len(dists) must equal N. The very first point
+// appends an empty row.
+func (s *StreamMatrix) AppendRow(dists []float64) {
+	if len(dists) != s.n {
+		panic("cluster: StreamMatrix.AppendRow row length does not match point count")
+	}
+	s.d = append(s.d, dists...)
+	s.n++
+}
+
+// At returns the distance between i and j (0 on the diagonal).
+func (s *StreamMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return s.d[j*(j-1)/2+i]
+}
+
+// Bytes returns the size of the backing store, for telemetry.
+func (s *StreamMatrix) Bytes() int { return len(s.d) * 8 }
+
+// ToMatrix copies the accumulated distances into the row-major packed
+// Matrix the batch clustering kernels consume. O(n²), used by rebuilds.
+func (s *StreamMatrix) ToMatrix() *Matrix {
+	m := NewMatrix(s.n)
+	for j := 1; j < s.n; j++ {
+		row := s.d[j*(j-1)/2 : j*(j+1)/2]
+		for i, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}

@@ -76,3 +76,31 @@ func TestPredictSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state predict allocates %.1f times per run, want <= 32", avg)
 	}
 }
+
+// TestServeSteadyStateAllocs is the online-serving allocation gate: a warm
+// ScoreBatch call over a small request-sized batch — the shape the /score
+// micro-batcher produces continuously — must stay within a small constant
+// per call. The pooled worker arenas arrive pre-grown, so the only per-call
+// heap traffic is the result slices and the per-trace prediction copies.
+func TestServeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	app := synth.Synthetic(16, 23)
+	traces := simTraces(t, app, 23, 8)
+	m := NewModel(smallConfig(23))
+	m.SetNormals(traces)
+	step := func() {
+		_, _, _ = m.ScoreBatch(traces, 2)
+	}
+	// Warm-up: populate per-trace caches and grow the pooled arenas.
+	for j := 0; j < 3; j++ {
+		step()
+	}
+	// Same per-trace budget as the predict gate (≤32: prediction copies +
+	// encode/loss constants), times 8 traces. A lost arena or a cold pool
+	// shows up as thousands of tape/slab allocations and trips this at once.
+	if avg := testing.AllocsPerRun(50, step); avg > 32*8 {
+		t.Fatalf("steady-state ScoreBatch allocates %.1f times per run, want <= 256", avg)
+	}
+}

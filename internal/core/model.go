@@ -24,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -277,10 +279,10 @@ func (m *Model) predictOn(tr *trace.Trace, ar *tensor.Arena) (durScaled, errProb
 }
 
 // PredictBatch scores many traces concurrently, returning the per-span
-// predictions of Predict for each trace in order. workers ≤ 0 uses
-// GOMAXPROCS. The forward pass only reads the shared weights, so any number
-// of scoring goroutines can share one model (see tensor.Backward's
-// concurrency contract).
+// predictions of Predict for each trace in order. workers ≤ 0 defers to the
+// SLEUTH_PREDICT_WORKERS environment knob, then GOMAXPROCS. The forward pass
+// only reads the shared weights, so any number of scoring goroutines can
+// share one model (see tensor.Backward's concurrency contract).
 func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, errProb [][]float64) {
 	perTrace := obs.H("core.predict.trace_us")
 	batchTimer := obs.H("core.predict.batch_us").Start()
@@ -288,7 +290,7 @@ func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, err
 	durScaled = make([][]float64, len(traces))
 	errProb = make([][]float64, len(traces))
 	workers = resolveWorkers(len(traces), workers)
-	arenas := newArenas(workers)
+	arenas := acquireArenas(workers)
 	parallelFor(len(traces), workers, func(w, i int) {
 		t := perTrace.Start()
 		ar := arenas[w]
@@ -296,13 +298,85 @@ func (m *Model) PredictBatch(traces []*trace.Trace, workers int) (durScaled, err
 		ar.Reset()
 		t.Stop()
 	})
+	releaseArenas(arenas)
 	batchTimer.Stop()
 	return durScaled, errProb
 }
 
-// resolveWorkers normalises a worker-count option: ≤ 0 selects GOMAXPROCS,
-// capped at n (one item per worker at most).
+// scoreOn runs ONE forward pass over a trace and derives both products from
+// its tape: the per-span predictions of Predict (fresh heap copies) and the
+// Eq. 5 loss of Loss. The loss reduction reuses the forward tape's
+// prediction tensors, so the values are bit-identical to separate
+// Predict/Loss calls while the GNN runs exactly once.
+func (m *Model) scoreOn(tr *trace.Trace, ar *tensor.Arena) (durScaled, errProb []float64, loss float64) {
+	enc := m.Encode(tr)
+	x, xStar := inputs(enc, ar)
+	pred := m.forward(enc, x, xStar)
+	dTarget := tensor.SliceCols(x, 0, 1)
+	eTarget := tensor.SliceCols(x, 1, 2)
+	l := tensor.Add(tensor.MSE(pred.durScaled, dTarget), tensor.BCE(pred.errProb, eTarget))
+	return append([]float64(nil), pred.durScaled.Data...),
+		append([]float64(nil), pred.errProb.Data...),
+		l.Item()
+}
+
+// ScoreBatch is the online-serving entry point: per-span predictions AND the
+// per-trace Eq. 5 losses from a single forward pass per trace. It exists
+// because the serving path needs both signals — PredictBatch followed by
+// MeanLoss runs the GNN twice per trace. Results are ordered like the input;
+// losses[i] equals Loss(Encode(traces[i])).Item() bit-for-bit, so
+// Σlosses/len is exactly MeanLoss. workers ≤ 0 defers to
+// SLEUTH_PREDICT_WORKERS, then GOMAXPROCS. Worker arenas come from the warm
+// process-wide pool, so steady-state serving does not re-grow tape slabs on
+// every call.
+func (m *Model) ScoreBatch(traces []*trace.Trace, workers int) (durScaled, errProb [][]float64, losses []float64) {
+	perTrace := obs.H("core.score.trace_us")
+	batchTimer := obs.H("core.score.batch_us").Start()
+	obs.C("core.score.traces").Add(int64(len(traces)))
+	durScaled = make([][]float64, len(traces))
+	errProb = make([][]float64, len(traces))
+	losses = make([]float64, len(traces))
+	workers = resolveWorkers(len(traces), workers)
+	arenas := acquireArenas(workers)
+	parallelFor(len(traces), workers, func(w, i int) {
+		t := perTrace.Start()
+		ar := arenas[w]
+		durScaled[i], errProb[i], losses[i] = m.scoreOn(traces[i], ar)
+		ar.Reset()
+		t.Stop()
+	})
+	releaseArenas(arenas)
+	batchTimer.Stop()
+	return durScaled, errProb, losses
+}
+
+// predictWorkersEnv reads the SLEUTH_PREDICT_WORKERS override once,
+// mirroring the SLEUTH_CLUSTER_WORKERS convention of the clustering engine;
+// 0 (or unset, or garbage) defers to GOMAXPROCS.
+var predictWorkersEnv = sync.OnceValue(func() int {
+	return parsePredictWorkers(os.Getenv("SLEUTH_PREDICT_WORKERS"))
+})
+
+// parsePredictWorkers parses a worker-count environment value: empty,
+// non-numeric or negative values mean "no override".
+func parsePredictWorkers(v string) int {
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// resolveWorkers normalises a worker-count option: ≤ 0 selects the
+// SLEUTH_PREDICT_WORKERS override when set, GOMAXPROCS otherwise, capped at
+// n (one item per worker at most).
 func resolveWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = predictWorkersEnv()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -322,6 +396,33 @@ func newArenas(workers int) []*tensor.Arena {
 		arenas[w] = tensor.NewArena()
 	}
 	return arenas
+}
+
+// arenaPool keeps inference arenas warm across PredictBatch/ScoreBatch/
+// MeanLoss calls. A fresh arena re-grows its float/int/tensor slabs from
+// nothing on every forward pass until it reaches steady state; under online
+// serving (many small batches per second) that cold-start cost recurs per
+// request. Pooled arenas arrive pre-grown, so steady-state serving allocates
+// nothing for tape storage across requests, not just within one batch.
+// Arenas are returned Reset (empty but with slabs retained); sync.Pool lets
+// the GC reclaim them under memory pressure.
+var arenaPool = sync.Pool{New: func() any { return tensor.NewArena() }}
+
+// acquireArenas checks one warm arena per worker out of the pool.
+func acquireArenas(workers int) []*tensor.Arena {
+	arenas := make([]*tensor.Arena, workers)
+	for w := range arenas {
+		arenas[w] = arenaPool.Get().(*tensor.Arena)
+	}
+	return arenas
+}
+
+// releaseArenas returns arenas to the pool. Callers must have Reset each
+// arena (the per-trace loops do) so pooled arenas hold no live tapes.
+func releaseArenas(arenas []*tensor.Arena) {
+	for _, ar := range arenas {
+		arenaPool.Put(ar)
+	}
 }
 
 // parallelFor runs fn(w, i) for every i in [0, n) across the given number
@@ -720,12 +821,13 @@ func (m *Model) MeanLoss(traces []*trace.Trace) float64 {
 	}
 	losses := make([]float64, len(traces))
 	workers := resolveWorkers(len(traces), 0)
-	arenas := newArenas(workers)
+	arenas := acquireArenas(workers)
 	parallelFor(len(traces), workers, func(w, i int) {
 		ar := arenas[w]
 		losses[i] = m.lossOn(m.Encode(traces[i]), ar).Item()
 		ar.Reset()
 	})
+	releaseArenas(arenas)
 	total := 0.0
 	for _, l := range losses {
 		total += l

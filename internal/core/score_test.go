@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/synth"
+)
+
+// TestScoreBatchMatchesPredictAndLoss is the single-pass correctness
+// contract: ScoreBatch's predictions must be bit-identical to PredictBatch
+// and its per-trace losses bit-identical to Loss, with the mean of the
+// losses equal to MeanLoss exactly — same op order, same FP results.
+func TestScoreBatchMatchesPredictAndLoss(t *testing.T) {
+	app := synth.Synthetic(16, 31)
+	traces := simTraces(t, app, 31, 24)
+	m := NewModel(smallConfig(31))
+	m.SetNormals(traces)
+
+	wantDur, wantErr := m.PredictBatch(traces, 0)
+	gotDur, gotErr, losses := m.ScoreBatch(traces, 0)
+
+	if len(gotDur) != len(traces) || len(gotErr) != len(traces) || len(losses) != len(traces) {
+		t.Fatalf("result lengths %d/%d/%d, want %d", len(gotDur), len(gotErr), len(losses), len(traces))
+	}
+	for i := range traces {
+		if len(gotDur[i]) != len(wantDur[i]) {
+			t.Fatalf("trace %d: %d durations, want %d", i, len(gotDur[i]), len(wantDur[i]))
+		}
+		for j := range gotDur[i] {
+			if gotDur[i][j] != wantDur[i][j] {
+				t.Fatalf("trace %d span %d: durScaled %v != PredictBatch %v", i, j, gotDur[i][j], wantDur[i][j])
+			}
+			if gotErr[i][j] != wantErr[i][j] {
+				t.Fatalf("trace %d span %d: errProb %v != PredictBatch %v", i, j, gotErr[i][j], wantErr[i][j])
+			}
+		}
+		want := m.Loss(m.Encode(traces[i])).Item()
+		if losses[i] != want {
+			t.Fatalf("trace %d: loss %v != Loss %v", i, losses[i], want)
+		}
+	}
+
+	sum := 0.0
+	for _, l := range losses {
+		sum += l
+	}
+	if mean := sum / float64(len(losses)); mean != m.MeanLoss(traces) {
+		t.Fatalf("mean of ScoreBatch losses %v != MeanLoss %v", mean, m.MeanLoss(traces))
+	}
+}
+
+// TestScoreBatchWorkerDeterminism asserts the worker count never changes a
+// single bit of any result — the per-trace forward passes are independent.
+func TestScoreBatchWorkerDeterminism(t *testing.T) {
+	app := synth.Synthetic(16, 32)
+	traces := simTraces(t, app, 32, 17)
+	m := NewModel(smallConfig(32))
+	m.SetNormals(traces)
+
+	baseDur, baseErr, baseLoss := m.ScoreBatch(traces, 1)
+	for _, workers := range []int{2, 3, 8} {
+		dur, errp, losses := m.ScoreBatch(traces, workers)
+		for i := range traces {
+			if losses[i] != baseLoss[i] {
+				t.Fatalf("workers=%d trace %d: loss %v != workers=1 %v", workers, i, losses[i], baseLoss[i])
+			}
+			for j := range dur[i] {
+				if dur[i][j] != baseDur[i][j] || errp[i][j] != baseErr[i][j] {
+					t.Fatalf("workers=%d trace %d span %d: prediction differs from workers=1", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestParsePredictWorkers covers the SLEUTH_PREDICT_WORKERS parse rules:
+// empty, garbage and negative values mean "no override".
+func TestParsePredictWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"0", 0},
+		{"4", 4},
+		{"16", 16},
+		{"-3", 0},
+		{"two", 0},
+		{"4.5", 0},
+	}
+	for _, c := range cases {
+		if got := parsePredictWorkers(c.in); got != c.want {
+			t.Errorf("parsePredictWorkers(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

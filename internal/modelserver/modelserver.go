@@ -49,6 +49,17 @@ type Registry struct {
 
 	mu       sync.RWMutex
 	manifest map[string][]ModelInfo // name → versions ascending
+
+	// cache holds the process-shared in-memory instance of each served
+	// version, keyed "name@version". Blobs are immutable — Publish always
+	// mints a fresh version number and Retire only flips manifest metadata
+	// — so entries never need invalidation; "latest" is resolved against
+	// the manifest BEFORE the cache lookup, so a newly published version
+	// takes over immediately. Sharing one instance is safe: scoring only
+	// reads the weights, and the per-trace feature caches behind it are
+	// internally synchronized.
+	cacheMu sync.RWMutex
+	cache   map[string]*core.Model
 }
 
 // manifestFile is the registry metadata file name.
@@ -59,7 +70,7 @@ func Open(dir string) (*Registry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	r := &Registry{dir: dir, manifest: map[string][]ModelInfo{}}
+	r := &Registry{dir: dir, manifest: map[string][]ModelInfo{}, cache: map[string]*core.Model{}}
 	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -183,6 +194,60 @@ func (r *Registry) Latest(name string) (*core.Model, ModelInfo, error) {
 	return m, info, nil
 }
 
+// resolveInfo maps ("name", "latest"|"3") to the concrete ModelInfo using
+// only the manifest — no disk I/O. The serving path resolves first and
+// caches by concrete version, so "latest" always tracks new publishes.
+func (r *Registry) resolveInfo(name, versionStr string) (ModelInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if versionStr == "latest" {
+		versions := r.manifest[name]
+		for i := len(versions) - 1; i >= 0; i-- {
+			if !versions[i].Retired {
+				return versions[i], nil
+			}
+		}
+		return ModelInfo{}, ErrNotFound
+	}
+	v, err := strconv.Atoi(versionStr)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("modelserver: bad version %q", versionStr)
+	}
+	info, ok := r.find(name, v)
+	if !ok {
+		return ModelInfo{}, ErrNotFound
+	}
+	return info, nil
+}
+
+// sharedModel returns the cached in-memory instance of a version, loading
+// the blob once per process. The pre-batcher serving path deserialized the
+// gob from disk on EVERY request — for a small model that load dominated
+// the forward pass it fed.
+func (r *Registry) sharedModel(info ModelInfo) (*core.Model, error) {
+	key := fmt.Sprintf("%s@%d", info.Name, info.Version)
+	r.cacheMu.RLock()
+	m, ok := r.cache[key]
+	r.cacheMu.RUnlock()
+	if ok {
+		obs.C("modelserver.cache.hits").Inc()
+		return m, nil
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if m, ok := r.cache[key]; ok {
+		obs.C("modelserver.cache.hits").Inc()
+		return m, nil
+	}
+	obs.C("modelserver.cache.misses").Inc()
+	m, err := core.LoadFile(r.blobPath(info.Name, info.Version))
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = m
+	return m, nil
+}
+
 func (r *Registry) find(name string, version int) (ModelInfo, bool) {
 	for _, info := range r.manifest[name] {
 		if info.Version == version {
@@ -258,6 +323,9 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	POST /models/{name}?trainedOn=...&parent={name}@{version}   publish blob
 //	POST /models/{name}/{version}/retire   retire
 //	POST /models/{name}/{version}/score    batched inference (JSON spans)
+//	POST /cluster/add                      stream spans into incremental clustering
+//	GET  /cluster/stats                    incremental clustering snapshot (JSON)
+//	POST /cluster/rebuild                  force a full recluster
 //	GET  /healthz                          liveness + build info (JSON)
 //	GET  /metrics                          Prometheus text exposition
 //	GET  /debug/metrics                    metrics registry snapshot (JSON)
@@ -270,6 +338,17 @@ type Server struct {
 	// (method, path, status, duration, request ID). The request ID is
 	// echoed in the X-Request-ID response header either way.
 	AccessLog *log.Logger
+	// Serve tunes the /score micro-batcher; the zero value resolves the
+	// SLEUTH_SERVE_BATCH / SLEUTH_SERVE_WAIT environment knobs.
+	Serve ServeConfig
+	// Cluster, when non-nil, enables the streaming clustering endpoints
+	// (/cluster/add, /cluster/stats, /cluster/rebuild).
+	Cluster *StreamCluster
+
+	// batchers coalesce concurrent score requests per concrete model
+	// version, created lazily on first score of that version.
+	batcherMu sync.Mutex
+	batchers  map[string]*batcher
 }
 
 // Handler returns the HTTP routes, wrapped in the obs access-log
@@ -278,9 +357,27 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/models", s.handleList)
 	mux.HandleFunc("/models/", s.handleModel)
+	mux.HandleFunc("/cluster/", s.handleCluster)
 	mux.HandleFunc("/healthz", obs.HealthHandler("modelserver"))
 	obs.Mount(mux)
 	return obs.AccessLog("modelserver", s.AccessLog, mux)
+}
+
+// batcherFor returns the per-version micro-batcher, creating it on first
+// use. One batcher per concrete version: requests only share an inference
+// call when they share a model.
+func (s *Server) batcherFor(key string, m *core.Model) *batcher {
+	s.batcherMu.Lock()
+	defer s.batcherMu.Unlock()
+	if b, ok := s.batchers[key]; ok {
+		return b
+	}
+	if s.batchers == nil {
+		s.batchers = map[string]*batcher{}
+	}
+	b := newBatcher(m, s.Serve)
+	s.batchers[key] = b
+	return b
 }
 
 func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
@@ -404,8 +501,12 @@ type ScoreResponse struct {
 }
 
 // score runs batched inference with the requested model version: spans are
-// assembled into traces and pushed through the model's data-parallel
-// PredictBatch/MeanLoss path.
+// assembled into traces and pushed through the per-version micro-batcher,
+// which coalesces concurrent requests into shared single-pass ScoreBatch
+// calls (one forward per trace yields predictions AND loss — the old
+// PredictBatch-then-MeanLoss path ran the GNN twice per request). The model
+// itself comes from the registry's in-memory cache instead of a per-request
+// gob load.
 func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionStr string) {
 	start := time.Now()
 	// The score latency histogram carries the request's self-trace ID as its
@@ -419,23 +520,12 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 	obs.C("modelserver.score.requests").Inc()
 	reqSpan := obs.SpanFrom(req.Context())
 	lsp := reqSpan.Child("model.load")
-	var (
-		m   *core.Model
-		err error
-	)
-	if versionStr == "latest" {
-		m, _, err = s.Registry.Latest(name)
-	} else {
-		v, perr := strconv.Atoi(versionStr)
-		if perr != nil {
-			lsp.SetError(true)
-			lsp.End()
-			http.Error(w, "bad version", http.StatusBadRequest)
-			return
-		}
-		m, _, err = s.Registry.Get(name, v)
-	}
 	lsp.Annotate("model.ref", name+"@"+versionStr)
+	info, err := s.Registry.resolveInfo(name, versionStr)
+	var m *core.Model
+	if err == nil {
+		m, err = s.Registry.sharedModel(info)
+	}
 	if err != nil {
 		lsp.SetError(true)
 	}
@@ -445,7 +535,11 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 		return
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "bad version") {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	var body ScoreRequest
@@ -472,15 +566,24 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 	obs.C("modelserver.score.skipped").Add(int64(skipped))
 	sort.Slice(traces, func(i, j int) bool { return traces[i].TraceID < traces[j].TraceID })
 	resp := ScoreResponse{Results: make([]ScoreResult, len(traces)), Skipped: skipped}
-	psp := reqSpan.Child("model.predict")
-	durs, errs := m.PredictBatch(traces, 0)
-	psp.End()
+	ssp := reqSpan.Child("model.score")
+	b := s.batcherFor(fmt.Sprintf("%s@%d", info.Name, info.Version), m)
+	durs, errs, losses := b.Score(traces)
+	ssp.Annotate("traces", strconv.Itoa(len(traces)))
+	ssp.End()
 	for i, tr := range traces {
 		resp.Results[i] = ScoreResult{TraceID: tr.TraceID, DurScaled: durs[i], ErrProb: errs[i]}
 	}
-	msp := reqSpan.Child("model.meanloss")
-	resp.MeanLoss = m.MeanLoss(traces)
-	msp.End()
+	// The request's MeanLoss is the mean of its own traces' losses, summed
+	// in the same sorted-by-TraceID order MeanLoss would walk — identical
+	// bytes, one forward pass fewer.
+	if len(losses) > 0 {
+		total := 0.0
+		for _, l := range losses {
+			total += l
+		}
+		resp.MeanLoss = total / float64(len(losses))
+	}
 	writeJSON(w, resp)
 }
 

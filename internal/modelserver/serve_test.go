@@ -1,0 +1,399 @@
+package modelserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sleuth-rca/sleuth/internal/core"
+	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/synth"
+	"github.com/sleuth-rca/sleuth/internal/trace"
+)
+
+// servingFixture publishes a trained model and returns held-out query
+// traces alongside the in-memory model for computing expected outputs.
+func servingFixture(t *testing.T, seed uint64, nQuery int) (*Registry, *core.Model, []*trace.Trace) {
+	t.Helper()
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := synth.Synthetic(16, seed)
+	s := sim.New(app, sim.DefaultOptions(seed))
+	res, err := s.Run(0, 20+nQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := sim.Traces(res)
+	m := core.NewModel(core.Config{EmbeddingDim: 8, Hidden: 16, Seed: seed})
+	if _, err := m.Train(traces[:20], core.TrainOptions{Epochs: 1, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("prod", m, "synthetic-16", nil); err != nil {
+		t.Fatal(err)
+	}
+	return reg, m, traces[20 : 20+nQuery]
+}
+
+// scoreVia posts one request's traces to srv and decodes the response.
+func scoreVia(t *testing.T, url string, traces []*trace.Trace) ScoreResponse {
+	t.Helper()
+	var body ScoreRequest
+	for _, tr := range traces {
+		body.Spans = append(body.Spans, tr.Spans...)
+	}
+	payload, _ := json.Marshal(body)
+	resp, err := http.Post(url+"/models/prod/latest/score", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status = %d", resp.StatusCode)
+	}
+	var out ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// expectResponse computes the unbatched reference ScoreResponse for one
+// request directly on the in-memory model.
+func expectResponse(m *core.Model, traces []*trace.Trace) ScoreResponse {
+	sorted := append([]*trace.Trace(nil), traces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TraceID < sorted[j].TraceID })
+	resp := ScoreResponse{Results: make([]ScoreResult, len(sorted))}
+	for i, tr := range sorted {
+		dur, errp := m.Predict(tr)
+		resp.Results[i] = ScoreResult{TraceID: tr.TraceID, DurScaled: dur, ErrProb: errp}
+	}
+	resp.MeanLoss = m.MeanLoss(sorted)
+	return resp
+}
+
+// sameResponse compares two ScoreResponses bit-for-bit (JSON float64s
+// round-trip exactly, so HTTP adds no tolerance).
+func sameResponse(t *testing.T, tag string, got, want ScoreResponse) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) || got.Skipped != want.Skipped {
+		t.Fatalf("%s: shape %d/%d vs %d/%d", tag, len(got.Results), got.Skipped, len(want.Results), want.Skipped)
+	}
+	if got.MeanLoss != want.MeanLoss {
+		t.Fatalf("%s: meanLoss %v != %v", tag, got.MeanLoss, want.MeanLoss)
+	}
+	for i := range want.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.TraceID != w.TraceID {
+			t.Fatalf("%s result %d: trace %s != %s", tag, i, g.TraceID, w.TraceID)
+		}
+		for j := range w.DurScaled {
+			if g.DurScaled[j] != w.DurScaled[j] || g.ErrProb[j] != w.ErrProb[j] {
+				t.Fatalf("%s result %d span %d: prediction differs", tag, i, j)
+			}
+		}
+	}
+}
+
+// TestBatchedScoreBitIdentical fires a storm of concurrent requests through
+// the micro-batcher (solo bypass off, so everything coalesces) and checks
+// every response byte-for-byte against the unbatched single-trace
+// reference: batch composition must never leak into results.
+func TestBatchedScoreBitIdentical(t *testing.T) {
+	reg, m, query := servingFixture(t, 11, 24)
+	srv := httptest.NewServer((&Server{
+		Registry: reg,
+		Serve:    ServeConfig{Batch: 8, Wait: 20 * time.Millisecond, noSolo: true},
+	}).Handler())
+	defer srv.Close()
+
+	// 8 concurrent clients, 3 traces each.
+	const clients = 8
+	var wg sync.WaitGroup
+	responses := make([]ScoreResponse, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			responses[c] = scoreVia(t, srv.URL, query[c*3:c*3+3])
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		sameResponse(t, fmt.Sprintf("client %d", c), responses[c], expectResponse(m, query[c*3:c*3+3]))
+	}
+}
+
+// TestBatcherDeadlineFlush pins the deadline semantics: a lone queued
+// request (solo bypass off) waits cfg.Wait — not less, not unboundedly
+// more — and then flushes with reason "deadline".
+func TestBatcherDeadlineFlush(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	_, m, query := servingFixture(t, 13, 2)
+
+	const wait = 40 * time.Millisecond
+	b := newBatcher(m, ServeConfig{Batch: 100, Wait: wait, noSolo: true})
+	start := time.Now()
+	durs, errs, losses := b.Score(query[:1])
+	elapsed := time.Since(start)
+	if len(durs) != 1 || len(errs) != 1 || len(losses) != 1 {
+		t.Fatalf("result shape %d/%d/%d", len(durs), len(errs), len(losses))
+	}
+	if elapsed < wait {
+		t.Fatalf("flushed after %v, before the %v deadline", elapsed, wait)
+	}
+	if elapsed > wait+2*time.Second {
+		t.Fatalf("flushed after %v, way past the %v deadline", elapsed, wait)
+	}
+	if n := obs.C("modelserver.batch.flush_deadline").Value(); n != 1 {
+		t.Fatalf("deadline flushes = %d, want 1", n)
+	}
+}
+
+// TestBatcherSizeFlush: once pending traces reach Batch the flush happens
+// immediately — nowhere near the (absurdly long) deadline.
+func TestBatcherSizeFlush(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	_, m, query := servingFixture(t, 17, 4)
+
+	b := newBatcher(m, ServeConfig{Batch: 4, Wait: time.Hour, noSolo: true})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			durs, _, _ := b.Score(query[c : c+1])
+			if len(durs) != 1 {
+				t.Errorf("client %d: %d results", c, len(durs))
+			}
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("size flush took %v", elapsed)
+	}
+	if n := obs.C("modelserver.batch.flush_size").Value(); n < 1 {
+		t.Fatal("no size-triggered flush recorded")
+	}
+	if n := obs.C("modelserver.batch.flush_deadline").Value() +
+		obs.C("modelserver.batch.flush_size").Value(); n < 1 {
+		t.Fatal("no flush recorded at all")
+	}
+}
+
+// TestScoreSinglePass is the op-count gate for the double-forward fix: one
+// /score request over n traces must run the score kernel exactly n times
+// and the predict kernel zero times (the old path ran predict n times AND
+// loss n times — two forwards per trace).
+func TestScoreSinglePass(t *testing.T) {
+	obs.Disable()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	reg, _, query := servingFixture(t, 19, 6)
+	srv := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer srv.Close()
+
+	scoreVia(t, srv.URL, query)
+	if got := obs.C("core.score.traces").Value(); got != int64(len(query)) {
+		t.Fatalf("score kernel ran %d traces, want %d", got, len(query))
+	}
+	if got := obs.C("core.predict.traces").Value(); got != 0 {
+		t.Fatalf("predict kernel ran %d traces, want 0 (double forward is back)", got)
+	}
+}
+
+// TestConcurrentScoreStorm hammers one server from many goroutines with
+// batching enabled — run under -race this is the serving path's
+// thread-safety proof (shared cached model, shared batcher, demux).
+func TestConcurrentScoreStorm(t *testing.T) {
+	reg, m, query := servingFixture(t, 23, 16)
+	srv := httptest.NewServer((&Server{
+		Registry: reg,
+		Serve:    ServeConfig{Batch: 6, Wait: time.Millisecond},
+	}).Handler())
+	defer srv.Close()
+
+	const clients, rounds = 8, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slice := query[(c*2)%len(query) : (c*2)%len(query)+2]
+			want := expectResponse(m, slice)
+			for r := 0; r < rounds; r++ {
+				sameResponse(t, fmt.Sprintf("client %d round %d", c, r), scoreVia(t, srv.URL, slice), want)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestClusterEndpoints drives the streaming clustering API end to end:
+// adds, stats, forced rebuild, and the 404 when the engine is absent.
+func TestClusterEndpoints(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Registry: reg, Cluster: NewStreamCluster()}).Handler())
+	defer srv.Close()
+
+	app := synth.Synthetic(16, 29)
+	s := sim.New(app, sim.DefaultOptions(29))
+	res, err := s.Run(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body ScoreRequest
+	for _, tr := range sim.Traces(res) {
+		body.Spans = append(body.Spans, tr.Spans...)
+	}
+	payload, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/cluster/add", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClusterAddResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 30 || out.Stats.Points != 30 {
+		t.Fatalf("add response: %d results, stats %+v", len(out.Results), out.Stats)
+	}
+
+	resp, err = http.Get(srv.URL + "/cluster/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Points int `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Points != 30 {
+		t.Fatalf("stats points = %d", stats.Points)
+	}
+
+	resp, err = http.Post(srv.URL+"/cluster/rebuild", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebuild status = %d", resp.StatusCode)
+	}
+
+	// Engine absent → 404.
+	bare := httptest.NewServer((&Server{Registry: reg}).Handler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/cluster/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled cluster status = %d", resp.StatusCode)
+	}
+}
+
+// TestServeLatencySmoke is the make-verify gate for the serving rework:
+// under 8 concurrent clients the batched server's p99 must beat the
+// pre-batcher path (per-request disk model load + PredictBatch + separate
+// MeanLoss), reproduced here as a legacy handler over the same registry.
+func TestServeLatencySmoke(t *testing.T) {
+	reg, _, query := servingFixture(t, 31, 16)
+	batched := httptest.NewServer((&Server{
+		Registry: reg,
+		Serve:    ServeConfig{Batch: 16, Wait: time.Millisecond},
+	}).Handler())
+	defer batched.Close()
+
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// The pre-PR serving path, inlined: load the gob from disk, run the
+		// GNN once for predictions and AGAIN for the loss.
+		m, _, err := reg.Latest("prod")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var body ScoreRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		traces, skipped := trace.AssembleAll(body.Spans)
+		sort.Slice(traces, func(i, j int) bool { return traces[i].TraceID < traces[j].TraceID })
+		resp := ScoreResponse{Results: make([]ScoreResult, len(traces)), Skipped: skipped}
+		durs, errs := m.PredictBatch(traces, 0)
+		for i, tr := range traces {
+			resp.Results[i] = ScoreResult{TraceID: tr.TraceID, DurScaled: durs[i], ErrProb: errs[i]}
+		}
+		resp.MeanLoss = m.MeanLoss(traces)
+		writeJSON(w, resp)
+	}))
+	defer legacy.Close()
+
+	const clients, rounds = 8, 6
+	run := func(url string) []time.Duration {
+		lat := make([]time.Duration, 0, clients*rounds)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				slice := query[(c*2)%len(query) : (c*2)%len(query)+2]
+				var body ScoreRequest
+				for _, tr := range slice {
+					body.Spans = append(body.Spans, tr.Spans...)
+				}
+				payload, _ := json.Marshal(body)
+				for r := 0; r < rounds; r++ {
+					start := time.Now()
+					resp, err := http.Post(url+"/models/prod/latest/score", "application/json", bytes.NewReader(payload))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					d := time.Since(start)
+					mu.Lock()
+					lat = append(lat, d)
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat
+	}
+
+	// Warm both servers (connections, caches) before measuring.
+	run(batched.URL)
+	run(legacy.URL)
+	batchedLat := run(batched.URL)
+	legacyLat := run(legacy.URL)
+	p99 := func(lat []time.Duration) time.Duration { return lat[len(lat)*99/100] }
+	bp, lp := p99(batchedLat), p99(legacyLat)
+	t.Logf("p99 batched=%v legacy=%v", bp, lp)
+	if bp >= lp {
+		t.Fatalf("batched p99 %v does not beat legacy p99 %v", bp, lp)
+	}
+}
