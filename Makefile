@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke serve-smoke
+.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke serve-smoke alert-smoke
 
 build:
 	$(GO) build ./...
@@ -31,20 +31,23 @@ fmt:
 # (collector + model server in-process, one scored request, one joined
 # trace through the dogfood loop) and the serve-latency smoke test (the
 # micro-batched /score path must beat the legacy per-request path at p99
-# under concurrent load).
-verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke
+# under concurrent load), and the watchdog alert smoke (a synthetic p99
+# regression must fire the stock burn-rate rule, link a resolvable
+# exemplar trace and resolve after recovery).
+verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke alert-smoke
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing, the
 # per-trace predict cost must stay a small constant, the clustering
 # engine's steady-state kernels (Eq. 1 merge, bounded-heap row selection,
 # packed-matrix access) must not allocate per call, the ingest tail
-# sampler's per-trace verdict must allocate nothing, and a warm serving
+# sampler's per-trace verdict must allocate nothing, a warm serving
 # request through the batcher must cost only the score kernel's per-trace
-# constants. These tests auto-skip under -race, so `make race` alone would
-# never exercise them.
+# constants, and the watchdog tick — disabled AND enabled steady state —
+# must allocate nothing. These tests auto-skip under -race, so `make race`
+# alone would never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/cluster ./internal/ingest ./internal/modelserver
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/obs/alert ./internal/cluster ./internal/ingest ./internal/modelserver
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -81,3 +84,11 @@ propagation-smoke:
 # against the legacy per-request path (disk model load + double forward).
 serve-smoke:
 	$(GO) test -run 'TestServeLatencySmoke' -count=1 ./internal/modelserver
+
+# alert-smoke is the self-watchdog end-to-end gate: a synthetic score-p99
+# regression fires the stock modelserver burn-rate rule within two ticks,
+# the firing alert carries the worst exemplar trace ID (resolvable via the
+# same /debug/traces endpoint `sleuthctl trace` uses), the ALERTS series
+# shows up on /metrics, and the alert resolves once the regression clears.
+alert-smoke:
+	$(GO) test -run 'TestAlertSmoke' -count=1 ./internal/obs/alert

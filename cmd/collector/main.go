@@ -20,6 +20,7 @@ import (
 	"github.com/sleuth-rca/sleuth/internal/collector"
 	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/obs/alert"
 	"github.com/sleuth-rca/sleuth/internal/store"
 )
 
@@ -37,6 +38,12 @@ func main() {
 		flushIvl  = flag.Duration("flush-interval", 10*time.Second, "metric flush interval")
 		selfpost  = flag.String("selfpost", os.Getenv("SLEUTH_OBS_SELFPOST"),
 			"mirror sampled self-traces to this collector URL for the dogfood loop (SLEUTH_OBS_SELFPOST overrides the default; may point at this process)")
+		watchdog = flag.Bool("watchdog", true,
+			"run the self-watchdog alert engine over the metrics registry (needs -obs)")
+		alertRules = flag.String("alert-rules", os.Getenv("SLEUTH_OBS_ALERTS"),
+			"JSON watchdog rule file loaded on top of the default pack (SLEUTH_OBS_ALERTS overrides the default)")
+		alertTick = flag.Duration("alert-tick", alert.EnvTickInterval(15*time.Second),
+			"watchdog evaluation interval (SLEUTH_OBS_ALERT_TICK overrides the default)")
 
 		ingestWorkers = flag.Int("ingest-workers", defaults.Workers,
 			"concentrator/sampler/writer shards (SLEUTH_INGEST_WORKERS overrides the default)")
@@ -84,6 +91,32 @@ func main() {
 	if *accessLog {
 		col.AccessLog = obs.NewAccessLogger()
 	}
+
+	// Self-watchdog: the default collector pack plus any operator rule
+	// file, evaluated on a background tick. A disabled watchdog (or
+	// disabled obs) yields a nil engine — every call below is a no-op and
+	// the /readyz check always passes.
+	var engine *alert.Engine
+	if *watchdog {
+		engine = alert.New(obs.Global(), *alertTick)
+		if err := engine.Add(alert.CollectorRules()...); err != nil {
+			fmt.Fprintf(os.Stderr, "collector: %v\n", err)
+			os.Exit(1)
+		}
+		if *alertRules != "" {
+			rules, err := alert.LoadRulesFile(*alertRules)
+			if err == nil {
+				err = engine.Add(rules...)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "collector: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		engine.Register()
+		engine.Start()
+	}
+	col.Ready = append(col.Ready, engine.ReadyCheck())
 	srv := &http.Server{Addr: *addr, Handler: col.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
 	done := make(chan os.Signal, 1)
@@ -101,6 +134,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+	engine.Stop()
 	col.Close() // drain open trace windows into the store
 	if flusher != nil {
 		flusher.Stop()

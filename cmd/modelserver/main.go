@@ -19,7 +19,9 @@
 //	GET  /cluster/stats                   incremental clustering snapshot (JSON)
 //	POST /cluster/rebuild                 force a full recluster
 //	GET  /healthz                         liveness + build info (JSON)
-//	GET  /metrics                         Prometheus text exposition
+//	GET  /readyz                          readiness: cache warm + watchdog (JSON)
+//	GET  /metrics                         Prometheus text exposition (incl. ALERTS)
+//	GET  /debug/alerts                    watchdog alert states (JSON)
 //	GET  /debug/metrics                   metrics snapshot (JSON)
 //	GET  /debug/series                    time-series ring buffers (JSON)
 //	GET  /debug/traces                    tail-sampled self-trace ring (JSON)
@@ -35,6 +37,7 @@ import (
 
 	"github.com/sleuth-rca/sleuth/internal/modelserver"
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/obs/alert"
 )
 
 func main() {
@@ -55,6 +58,12 @@ func main() {
 			"inference workers per shared score call (0 = SLEUTH_PREDICT_WORKERS or GOMAXPROCS)")
 		clusterStream = flag.Bool("cluster", false,
 			"enable the streaming clustering endpoints (/cluster/add, /cluster/stats, /cluster/rebuild)")
+		watchdog = flag.Bool("watchdog", true,
+			"run the self-watchdog alert engine over the metrics registry (needs -obs)")
+		alertRules = flag.String("alert-rules", os.Getenv("SLEUTH_OBS_ALERTS"),
+			"JSON watchdog rule file loaded on top of the default pack (SLEUTH_OBS_ALERTS overrides the default)")
+		alertTick = flag.Duration("alert-tick", alert.EnvTickInterval(15*time.Second),
+			"watchdog evaluation interval (SLEUTH_OBS_ALERT_TICK overrides the default)")
 	)
 	flag.Parse()
 	if *enableObs {
@@ -85,12 +94,50 @@ func main() {
 	if *accessLog {
 		server.AccessLog = obs.NewAccessLogger()
 	}
+
+	// Preload served model versions so /readyz flips ready only once the
+	// first score request would hit the in-memory cache.
+	warmed := reg.WarmCache()
+
+	// Self-watchdog: default serving pack (p99 burn rate, error-rate burn,
+	// batcher queueing, score drift) plus any operator rule file. A score
+	// drift alert triggers a full recluster when streaming clustering is
+	// on — the drift hook the incremental engine consumes.
+	var engine *alert.Engine
+	if *watchdog {
+		engine = alert.New(obs.Global(), *alertTick)
+		if err := engine.Add(alert.ModelServerRules()...); err != nil {
+			fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+			os.Exit(1)
+		}
+		if *alertRules != "" {
+			rules, err := alert.LoadRulesFile(*alertRules)
+			if err == nil {
+				err = engine.Add(rules...)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if cl := server.Cluster; cl != nil {
+			engine.OnDrift(func(ev alert.DriftEvent) {
+				fmt.Fprintf(os.Stderr, "modelserver: drift alert %s (psi=%.3f ks=%.3f) — reclustering\n",
+					ev.Rule, ev.PSI, ev.KS)
+				cl.Rebuild()
+			})
+		}
+		engine.Register()
+		engine.Start()
+	}
+	server.Ready = append(server.Ready, engine.ReadyCheck())
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("model server listening on %s (registry %s, %d models)\n", *addr, *dir, len(reg.List()))
+	fmt.Printf("model server listening on %s (registry %s, %d models, %d warmed, watchdog rules=%d)\n",
+		*addr, *dir, len(reg.List()), warmed, engine.RuleCount())
 	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintf(os.Stderr, "modelserver: %v\n", err)
 		os.Exit(1)

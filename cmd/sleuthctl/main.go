@@ -8,6 +8,7 @@
 //	sleuthctl traces  -addr localhost:4318 -slowest   # list ring-resident self-traces
 //	sleuthctl trace   -addr localhost:4318,localhost:8500 <id>  # joined span tree
 //	sleuthctl watch   -addr localhost:4318     # live sparkline telemetry view
+//	sleuthctl alerts  -addr localhost:4318     # watchdog alert states
 //
 // Trace files are span JSONL as written by tracegen or the collector.
 //
@@ -32,6 +33,7 @@ import (
 	sleuth "github.com/sleuth-rca/sleuth"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/obs/alert"
 	"github.com/sleuth-rca/sleuth/internal/otel"
 	"github.com/sleuth-rca/sleuth/internal/store"
 	"github.com/sleuth-rca/sleuth/internal/trace"
@@ -59,6 +61,8 @@ func main() {
 		err = cmdTraces(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
+	case "alerts":
+		err = cmdAlerts(os.Args[2:])
 	default:
 		usage()
 	}
@@ -69,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace|trace|traces|watch> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sleuthctl <train|rca|cluster|ops|selftrace|trace|traces|watch|alerts> [flags]")
 	os.Exit(2)
 }
 
@@ -133,6 +137,16 @@ func cmdTrain(args []string) error {
 	if *debugAddr != "" {
 		obs.Enable()
 		obs.StartSampler(obs.EnvSampleInterval(time.Second))
+		// Watch the run itself: the training pack (loss spike, grad-norm
+		// blowup) evaluated on a short tick, surfaced on /debug/alerts
+		// and in the `sleuthctl watch` banner.
+		engine := alert.New(obs.Global(), alert.EnvTickInterval(5*time.Second))
+		if err := engine.Add(alert.TrainingRules()...); err != nil {
+			return err
+		}
+		engine.Register()
+		engine.Start()
+		defer engine.Stop()
 		mux := http.NewServeMux()
 		obs.Mount(mux)
 		go func() {

@@ -13,7 +13,34 @@ import (
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/obs/alert"
 )
+
+// alertBanner renders the firing/pending watchdog alerts as an
+// inverse-video banner line (empty when nothing is active), with the
+// exemplar trace ID attached so the operator can jump straight to
+// `sleuthctl trace <id>`.
+func alertBanner(status alert.StatusResponse) string {
+	if status.Firing == 0 && status.Pending == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range status.Alerts {
+		if a.State != alert.StateFiring && a.State != alert.StatePending {
+			continue
+		}
+		marker := "\x1b[7;31m ALERT \x1b[0m" // inverse red for firing
+		if a.State == alert.StatePending {
+			marker = "\x1b[7;33m pend  \x1b[0m" // inverse yellow
+		}
+		fmt.Fprintf(&b, "%s %s (%s, value %.4g", marker, a.Name, a.Severity, a.Value)
+		if a.TraceID != "" {
+			fmt.Fprintf(&b, ", trace %s", a.TraceID)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
 
 // sparkRunes is the 8-level block ramp used for trend rendering.
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
@@ -148,10 +175,18 @@ func cmdWatch(args []string) error {
 				return fmt.Errorf("watch: querying series: %w", err)
 			}
 		}
+		// Firing-alert banner: best-effort poll of the watchdog state; a
+		// server without /debug/alerts (or with the watchdog off) simply
+		// shows no banner.
+		var status alert.StatusResponse
+		_ = fetchJSON(client, base+"/debug/alerts", &status)
+
 		// Home the cursor and clear below it, then redraw the frame.
 		fmt.Print("\x1b[H\x1b[2J")
-		fmt.Printf("sleuthctl watch %s  window=%s  %s\n\n",
+		fmt.Printf("sleuthctl watch %s  window=%s  %s\n",
 			base, window, time.Now().Format(time.TimeOnly))
+		fmt.Print(alertBanner(status))
+		fmt.Println()
 		if len(resp.Series) == 0 {
 			fmt.Println("no series yet — is the server running with observability enabled?")
 			continue

@@ -41,7 +41,15 @@ type Collector struct {
 	MaxBodyBytes int64
 	// AccessLog, if non-nil, receives one structured line per request.
 	AccessLog *log.Logger
+	// Ready holds extra readiness checks served on /readyz alongside the
+	// built-in ingest-queue saturation check (a main adds the watchdog's
+	// ReadyCheck here).
+	Ready []obs.ReadyCheck
 }
+
+// readyQueueSaturation is the /readyz bound on ingest queue occupancy: a
+// collector whose queues are ≥ 90% full is shedding, not serving.
+const readyQueueSaturation = 0.9
 
 // New creates a Collector feeding the given store through a pipeline with
 // the default (environment-tunable) configuration.
@@ -72,6 +80,7 @@ type statsResponse struct {
 //	POST /api/v2/spans   — Zipkin-style JSON
 //	POST /api/traces     — Jaeger-style JSON
 //	GET  /healthz        — liveness + build info (JSON)
+//	GET  /readyz         — readiness: queue saturation + injected checks
 //	GET  /stats          — span/trace counts + ingest pipeline counters
 //	GET  /metrics        — Prometheus text exposition
 //	GET  /debug/metrics  — metrics registry snapshot (JSON)
@@ -90,6 +99,16 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/api/v2/spans", c.ingest("zipkin", otel.DecodeZipkin))
 	mux.HandleFunc("/api/traces", c.ingest("jaeger", otel.DecodeJaeger))
 	mux.HandleFunc("/healthz", obs.HealthHandler("collector"))
+	checks := append([]obs.ReadyCheck{{
+		Name: "ingest-queue",
+		Check: func() error {
+			if sat := c.Ingest.QueueSaturation(); sat >= readyQueueSaturation {
+				return fmt.Errorf("ingest queues %.0f%% full", sat*100)
+			}
+			return nil
+		},
+	}}, c.Ready...)
+	mux.HandleFunc("/readyz", obs.ReadyHandler("collector", checks...))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(statsResponse{

@@ -407,6 +407,20 @@ func (p *Pipeline) QueueDepth() int {
 	return depth
 }
 
+// QueueSaturation reports queue occupancy as a fraction of total capacity
+// in [0,1] — the readiness signal: a collector whose queues sit near 1.0
+// is accepting traffic it will mostly drop and should fail /readyz.
+func (p *Pipeline) QueueSaturation() float64 {
+	if p == nil || len(p.shards) == 0 {
+		return 0
+	}
+	capTotal := len(p.shards) * p.cfg.QueueSize
+	if capTotal == 0 {
+		return 0
+	}
+	return float64(p.QueueDepth()) / float64(capTotal)
+}
+
 // Stats snapshots the pipeline counters.
 func (p *Pipeline) Stats() Stats {
 	return Stats{

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/core"
@@ -60,6 +61,9 @@ type Registry struct {
 	// internally synchronized.
 	cacheMu sync.RWMutex
 	cache   map[string]*core.Model
+
+	// warm flips once WarmCache has preloaded served versions (readiness).
+	warm atomic.Bool
 }
 
 // manifestFile is the registry metadata file name.
@@ -327,6 +331,7 @@ func (r *Registry) Lineage(name string, version int) ([]ModelInfo, error) {
 //	GET  /cluster/stats                    incremental clustering snapshot (JSON)
 //	POST /cluster/rebuild                  force a full recluster
 //	GET  /healthz                          liveness + build info (JSON)
+//	GET  /readyz                           readiness: cache warm + injected checks
 //	GET  /metrics                          Prometheus text exposition
 //	GET  /debug/metrics                    metrics registry snapshot (JSON)
 //	GET  /debug/series                     time-series ring buffers (JSON)
@@ -344,12 +349,40 @@ type Server struct {
 	// Cluster, when non-nil, enables the streaming clustering endpoints
 	// (/cluster/add, /cluster/stats, /cluster/rebuild).
 	Cluster *StreamCluster
+	// Ready holds extra readiness checks served on /readyz alongside the
+	// built-in model-cache-warm check (a main adds the watchdog's
+	// ReadyCheck here).
+	Ready []obs.ReadyCheck
 
 	// batchers coalesce concurrent score requests per concrete model
 	// version, created lazily on first score of that version.
 	batcherMu sync.Mutex
 	batchers  map[string]*batcher
 }
+
+// WarmCache preloads the latest non-retired version of every model into
+// the in-memory cache — called at boot so /readyz flips ready only once
+// the first score request would be served from memory, not a cold gob
+// load. Returns the number of versions warmed; load errors skip the
+// version (a corrupt historical blob must not wedge startup).
+func (r *Registry) WarmCache() int {
+	warmed := 0
+	for _, info := range r.List() {
+		if info.Retired {
+			continue
+		}
+		if _, err := r.sharedModel(info); err == nil {
+			warmed++
+		}
+	}
+	r.warm.Store(true)
+	return warmed
+}
+
+// CacheWarm reports whether WarmCache has completed. An empty registry
+// warms trivially; a server that never calls WarmCache never reports warm
+// (and should not install the readiness check).
+func (r *Registry) CacheWarm() bool { return r.warm.Load() }
 
 // Handler returns the HTTP routes, wrapped in the obs access-log
 // middleware and carrying the /debug observability surface.
@@ -359,6 +392,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/models/", s.handleModel)
 	mux.HandleFunc("/cluster/", s.handleCluster)
 	mux.HandleFunc("/healthz", obs.HealthHandler("modelserver"))
+	checks := append([]obs.ReadyCheck{{
+		Name: "model-cache",
+		Check: func() error {
+			if !s.Registry.CacheWarm() {
+				return errors.New("model cache not warmed")
+			}
+			return nil
+		},
+	}}, s.Ready...)
+	mux.HandleFunc("/readyz", obs.ReadyHandler("modelserver", checks...))
 	obs.Mount(mux)
 	return obs.AccessLog("modelserver", s.AccessLog, mux)
 }
@@ -583,6 +626,9 @@ func (s *Server) score(w http.ResponseWriter, req *http.Request, name, versionSt
 			total += l
 		}
 		resp.MeanLoss = total / float64(len(losses))
+		// The per-request mean loss is the model-score distribution the
+		// watchdog's drift rule watches against its frozen reference.
+		obs.S("modelserver.score.mean_loss").Append(resp.MeanLoss)
 	}
 	writeJSON(w, resp)
 }

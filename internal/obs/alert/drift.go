@@ -1,0 +1,131 @@
+// Online distribution-drift detection: a frozen reference window per rule
+// plus the two classical two-sample statistics computed against it each
+// tick — PSI (population stability index, binned log-likelihood shift)
+// and the Kolmogorov–Smirnov statistic (max CDF gap). PSI is the industry
+// gauge for "has the score distribution moved" (0.1 minor, 0.25 action);
+// KS is bin-free and catches shape changes PSI's coarse bins smear out.
+// The steady-state evaluation reuses per-rule scratch buffers and
+// allocates nothing once the reference is frozen.
+
+package alert
+
+import (
+	"math"
+	"slices"
+)
+
+// psiBins is the number of equal-frequency reference bins PSI uses.
+// Deciles are the conventional choice: fine enough to see a shifted mode,
+// coarse enough that 64 reference samples give stable bin proportions.
+const psiBins = 10
+
+// psiEpsilon floors bin proportions so an empty bin contributes a large
+// finite term instead of an infinite one.
+const psiEpsilon = 1e-4
+
+// reference is a frozen snapshot of a series' early distribution: the
+// sorted sample values, the PSI bin edges (equal-frequency over the
+// reference), and the reference proportion per bin.
+type reference struct {
+	sorted []float64 // ascending reference values (KS CDF)
+	edges  []float64 // psiBins-1 ascending inner bin edges
+	prop   []float64 // psiBins reference proportions, ε-floored
+}
+
+// freezeReference builds the frozen reference from the sample values
+// collected so far. values is consumed (sorted in place).
+func freezeReference(values []float64) *reference {
+	slices.Sort(values)
+	ref := &reference{
+		sorted: values,
+		edges:  make([]float64, psiBins-1),
+		prop:   make([]float64, psiBins),
+	}
+	n := len(values)
+	// Equal-frequency edges: edge i sits at the (i+1)/psiBins quantile of
+	// the reference. Duplicated values can collapse adjacent edges; the
+	// binning below treats collapsed bins as empty (ε-floored), which
+	// keeps PSI finite and monotone in the shift.
+	for i := 0; i < psiBins-1; i++ {
+		idx := (i + 1) * n / psiBins
+		if idx >= n {
+			idx = n - 1
+		}
+		ref.edges[i] = values[idx]
+	}
+	var counts [psiBins]int
+	for _, v := range values {
+		counts[binOf(ref.edges, v)]++
+	}
+	for i, c := range counts {
+		p := float64(c) / float64(n)
+		if p < psiEpsilon {
+			p = psiEpsilon
+		}
+		ref.prop[i] = p
+	}
+	return ref
+}
+
+// binOf locates v's PSI bin: the first bin whose edge is ≥ v (edges are
+// inner boundaries; the last bin is unbounded above).
+func binOf(edges []float64, v float64) int {
+	for i, e := range edges {
+		if v < e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+// psi computes the population stability index of live against ref using
+// the caller's scratch count array (zeroed here), allocation-free.
+func (ref *reference) psi(live []float64, scratch *[psiBins]int) float64 {
+	if len(live) == 0 {
+		return 0
+	}
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	for _, v := range live {
+		scratch[binOf(ref.edges, v)]++
+	}
+	total := float64(len(live))
+	sum := 0.0
+	for i, c := range scratch {
+		p := float64(c) / total
+		if p < psiEpsilon {
+			p = psiEpsilon
+		}
+		q := ref.prop[i]
+		sum += (p - q) * math.Log(p/q)
+	}
+	return sum
+}
+
+// ks computes the two-sample Kolmogorov–Smirnov statistic between the
+// frozen reference and live, which must be sorted ascending. Standard
+// two-pointer sweep over the merged order: at every step the CDF of the
+// array holding the smaller next value advances, and the running maximum
+// of |F_ref - F_live| is the statistic. Allocation-free.
+func (ref *reference) ks(live []float64) float64 {
+	a, b := ref.sorted, live
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var i, j int
+	var maxGap float64
+	na, nb := float64(len(a)), float64(len(b))
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		gap := math.Abs(float64(i)/na - float64(j)/nb)
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap
+}

@@ -1,0 +1,161 @@
+// Default rule packs: the watchdog rules each component ships with when
+// -watchdog is on. Names are stable identifiers (they key the alert state
+// and the Prometheus ALERTS exposition); thresholds are deliberately
+// conservative defaults an operator overrides with a -alert-rules file.
+
+package alert
+
+import "time"
+
+// CollectorRules watches the ingest path: queue saturation, drop storms,
+// malformed-payload bursts and exporter backpressure.
+func CollectorRules() []Rule {
+	return []Rule{
+		{
+			Name:      "collector_ingest_drop_storm",
+			Kind:      KindThreshold,
+			Series:    "ingest.spans_dropped",
+			Severity:  "critical",
+			Component: "collector",
+			Window:    Duration(5 * time.Minute),
+			Agg:       AggDelta,
+			Op:        OpGT,
+			Value:     0,
+			MinCount:  2,
+			For:       Duration(30 * time.Second),
+		},
+		{
+			Name:      "collector_decode_error_burst",
+			Kind:      KindThreshold,
+			Series:    "collector.decode_errors",
+			Severity:  "warning",
+			Component: "collector",
+			Window:    Duration(5 * time.Minute),
+			Agg:       AggDelta,
+			Op:        OpGT,
+			Value:     10,
+			MinCount:  2,
+		},
+		{
+			Name:      "collector_ingest_queue_saturated",
+			Kind:      KindThreshold,
+			Series:    "ingest.queue_depth",
+			Severity:  "warning",
+			Component: "collector",
+			Window:    Duration(1 * time.Minute),
+			Agg:       AggMean,
+			Op:        OpGT,
+			Value:     192, // 75% of the default 256-slot queue
+			For:       Duration(1 * time.Minute),
+		},
+		flushBackpressureRule("collector"),
+	}
+}
+
+// ModelServerRules watches serving: score-latency SLO burn, request
+// error-rate burn, batcher queueing and model-score drift.
+func ModelServerRules() []Rule {
+	return []Rule{
+		{
+			Name:      "modelserver_score_p99_burn",
+			Kind:      KindBurnRate,
+			Series:    "modelserver.score_us.p99",
+			Severity:  "critical",
+			Component: "modelserver",
+			// SLO: 99% of sampled p99 readings stay under 50 ms.
+			Target:      0.99,
+			Objective:   50000, // µs
+			ShortWindow: Duration(5 * time.Minute),
+			LongWindow:  Duration(1 * time.Hour),
+			BurnFactor:  2,
+			MinCount:    3,
+		},
+		{
+			Name:      "modelserver_error_rate_burn",
+			Kind:      KindBurnRate,
+			Severity:  "critical",
+			Component: "modelserver",
+			// SLO: 99.5% of requests answer without a 5xx.
+			Target:      0.995,
+			NumSeries:   "modelserver.http.status_5xx",
+			DenSeries:   "modelserver.http.requests",
+			ShortWindow: Duration(5 * time.Minute),
+			LongWindow:  Duration(1 * time.Hour),
+			BurnFactor:  2,
+			MinCount:    3,
+		},
+		{
+			Name:      "modelserver_batch_queue_wait",
+			Kind:      KindThreshold,
+			Series:    "modelserver.batch.queue_wait_us.p99",
+			Severity:  "warning",
+			Component: "modelserver",
+			Window:    Duration(5 * time.Minute),
+			Agg:       AggMean,
+			Op:        OpGT,
+			Value:     20000, // µs — queueing dominates the latency budget
+			MinCount:  3,
+			For:       Duration(1 * time.Minute),
+		},
+		{
+			Name:      "modelserver_score_drift",
+			Kind:      KindDrift,
+			Series:    "modelserver.score.mean_loss",
+			Severity:  "warning",
+			Component: "modelserver",
+			Window:    Duration(30 * time.Minute),
+			RefMin:    128,
+			MaxPSI:    0.25,
+			MaxKS:     0.30,
+			For:       Duration(1 * time.Minute),
+		},
+		flushBackpressureRule("modelserver"),
+	}
+}
+
+// TrainingRules watches a training run driven through sleuthctl train:
+// loss spikes and gradient-norm blowups.
+func TrainingRules() []Rule {
+	return []Rule{
+		{
+			Name:      "training_loss_spike",
+			Kind:      KindThreshold,
+			Series:    "core.train.epoch.loss",
+			Severity:  "warning",
+			Component: "training",
+			Window:    Duration(30 * time.Minute),
+			Agg:       AggLastOverMean,
+			Op:        OpGT,
+			Value:     2, // latest epoch loss doubled the window mean
+			MinCount:  3,
+		},
+		{
+			Name:      "training_grad_norm_blowup",
+			Kind:      KindThreshold,
+			Series:    "core.train.epoch.grad_norm",
+			Severity:  "critical",
+			Component: "training",
+			Window:    Duration(30 * time.Minute),
+			Agg:       AggLastOverMean,
+			Op:        OpGT,
+			Value:     10,
+			MinCount:  3,
+		},
+	}
+}
+
+// flushBackpressureRule alerts when the telemetry exporter itself drops
+// batches (obs.flush.drops is a per-event series: each drop appends 1).
+func flushBackpressureRule(component string) Rule {
+	return Rule{
+		Name:      component + "_obs_flush_backpressure",
+		Kind:      KindThreshold,
+		Series:    "obs.flush.drops",
+		Severity:  "warning",
+		Component: component,
+		Window:    Duration(5 * time.Minute),
+		Agg:       AggSum,
+		Op:        OpGT,
+		Value:     0,
+	}
+}

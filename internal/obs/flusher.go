@@ -57,7 +57,11 @@ type Flusher struct {
 
 	flushed *Counter
 	dropped *Counter
-	errs    *Counter
+	// drops mirrors every drop into a per-event series (one sample of 1
+	// per dropped snapshot) so exporter backpressure is window-queryable
+	// and alertable, not just a monotone counter.
+	drops *Series
+	errs  *Counter
 
 	stopOnce sync.Once
 }
@@ -93,6 +97,7 @@ func NewFlusher(reg *Registry, opts FlusherOptions) (*Flusher, error) {
 		done:    make(chan struct{}),
 		flushed: reg.Counter("obs.flush.flushed"),
 		dropped: reg.Counter("obs.flush.dropped"),
+		drops:   reg.Series("obs.flush.drops"),
 		errs:    reg.Counter("obs.flush.errors"),
 	}
 	if opts.Path != "" {
@@ -151,6 +156,7 @@ func (f *Flusher) enqueue(ts int64) {
 	case f.queue <- line:
 	default:
 		f.dropped.Inc()
+		f.drops.Append(1)
 	}
 }
 

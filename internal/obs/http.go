@@ -41,6 +41,7 @@ func MetricsHandler(reg *Registry) http.HandlerFunc {
 //	GET /debug/metrics        registry snapshot (JSON)
 //	GET /debug/series         ring-buffer time series (JSON)
 //	GET /debug/traces         tail-sampled self-trace ring (JSON)
+//	GET /debug/alerts         watchdog alert states (JSON)
 //	GET /debug/pprof/...      net/http/pprof profiles
 //
 // Every endpoint resolves the process registry per request, so a registry
@@ -58,6 +59,7 @@ func Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		TracesHandler(Ring())(w, r)
 	})
+	mux.HandleFunc("/debug/alerts", serveAlerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -166,6 +168,39 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// WriteJSON renders v as indented JSON with the right content type — the
+// shared encoder for debug surfaces living outside this package (the
+// watchdog's /debug/alerts).
+func WriteJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
+
+// --- Watchdog extension hooks ----------------------------------------------
+
+// alertsHandler holds the /debug/alerts handler installed by the watchdog
+// engine (internal/obs/alert). obs cannot import that package — alert
+// imports obs — so the engine registers itself through this hook and
+// Mount consults it per request.
+var alertsHandler atomic.Pointer[http.HandlerFunc]
+
+// SetAlertsHandler installs (or replaces) the /debug/alerts handler.
+func SetAlertsHandler(h http.HandlerFunc) {
+	if h == nil {
+		alertsHandler.Store(nil)
+		return
+	}
+	alertsHandler.Store(&h)
+}
+
+// serveAlerts dispatches /debug/alerts to the installed watchdog handler,
+// or reports the disabled-watchdog document so the endpoint is probe-safe
+// before (or without) an engine.
+func serveAlerts(w http.ResponseWriter, r *http.Request) {
+	if h := alertsHandler.Load(); h != nil {
+		(*h)(w, r)
+		return
+	}
+	writeJSON(w, map[string]any{"enabled": false, "alerts": []any{}})
+}
+
 // --- Health ----------------------------------------------------------------
 
 // Version is the build version string reported by health endpoints; a
@@ -217,6 +252,53 @@ func HealthHandler(component string) http.HandlerFunc {
 	}
 }
 
+// --- Readiness ---------------------------------------------------------------
+
+// ReadyCheck is one named readiness condition: Check returns nil when the
+// condition holds and a descriptive error when it does not.
+type ReadyCheck struct {
+	Name  string
+	Check func() error
+}
+
+// ReadyStatus is the JSON body of a /readyz response.
+type ReadyStatus struct {
+	Ready     bool   `json:"ready"`
+	Component string `json:"component"`
+	// Checks maps check name → "ok" or the failure message.
+	Checks map[string]string `json:"checks"`
+}
+
+// ReadyHandler serves readiness (as opposed to HealthHandler's liveness):
+// 200 when every check passes, 503 with the failing checks listed when
+// any does not. The current state is mirrored into the
+// <component>.ready gauge (1/0) so readiness history lands in the series
+// ring and is itself alertable. No checks means always ready.
+func ReadyHandler(component string, checks ...ReadyCheck) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := ReadyStatus{Ready: true, Component: component, Checks: map[string]string{}}
+		for _, c := range checks {
+			if c.Check == nil {
+				continue
+			}
+			if err := c.Check(); err != nil {
+				st.Ready = false
+				st.Checks[c.Name] = err.Error()
+			} else {
+				st.Checks[c.Name] = "ok"
+			}
+		}
+		ready := 1.0
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Ready {
+			ready = 0
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		G(component + ".ready").Set(ready)
+		writeJSON(w, st)
+	}
+}
+
 // reqSeq numbers generated request IDs; reqEpoch makes IDs unique across
 // process restarts.
 var (
@@ -257,10 +339,11 @@ func (w *statusWriter) Flush() {
 }
 
 // traceablePath reports whether a request path gets a per-request self
-// trace. Scrape and debug surfaces are exempt: a watch dashboard polling
-// /metrics every second must not churn the trace ring.
+// trace. Scrape, probe and debug surfaces are exempt: a watch dashboard
+// polling /metrics every second (or a fleet probing /readyz) must not
+// churn the trace ring.
 func traceablePath(p string) bool {
-	return p != "/metrics" && p != "/healthz" && !strings.HasPrefix(p, "/debug/")
+	return p != "/metrics" && p != "/healthz" && p != "/readyz" && !strings.HasPrefix(p, "/debug/")
 }
 
 // AccessLog wraps next with request observability for one component:

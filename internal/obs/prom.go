@@ -76,6 +76,21 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promAppender holds an extra exposition section appended after the
+// registry metrics — the watchdog engine's ALERTS series. Registered via
+// SetPromAppender because obs cannot import internal/obs/alert.
+var promAppender atomic.Pointer[func(io.Writer)]
+
+// SetPromAppender installs (or replaces, or with nil removes) the extra
+// exposition section written at the end of every Prometheus scrape.
+func SetPromAppender(fn func(io.Writer)) {
+	if fn == nil {
+		promAppender.Store(nil)
+		return
+	}
+	promAppender.Store(&fn)
+}
+
 // WritePrometheus renders every registered metric in stable (sorted) order.
 // A nil registry writes nothing — the scrape of a disabled process is a
 // valid, empty exposition.
@@ -83,6 +98,11 @@ func WritePrometheus(w io.Writer, r *Registry) {
 	if r == nil {
 		return
 	}
+	defer func() {
+		if fn := promAppender.Load(); fn != nil {
+			(*fn)(w)
+		}
+	}()
 	r.collect()
 	r.mu.RLock()
 	counters := make([]*Counter, 0, len(r.counters))

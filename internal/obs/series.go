@@ -67,6 +67,12 @@ func (s *Series) Append(v float64) {
 	s.appendSample(time.Now().UnixNano(), v)
 }
 
+// AppendAt records v at an explicit Unix-nanosecond timestamp — the
+// deterministic-emission entry point used by the watchdog tests and any
+// replayer that carries its own clock. Out-of-order timestamps are stored
+// as given; windowed queries filter by timestamp, not ring position.
+func (s *Series) AppendAt(ts int64, v float64) { s.appendSample(ts, v) }
+
 // appendSample records v at an explicit timestamp (the sampler stamps a
 // whole sweep with one clock read; tests pin timestamps).
 func (s *Series) appendSample(ts int64, v float64) {
@@ -168,13 +174,22 @@ type SeriesStats struct {
 // Stats summarises the samples newer than now-window without allocating.
 // window ≤ 0 covers the whole ring.
 func (s *Series) Stats(window time.Duration) SeriesStats {
-	var st SeriesStats
-	if s == nil {
-		return st
-	}
 	cut := int64(0)
 	if window > 0 {
 		cut = time.Now().Add(-window).UnixNano()
+	}
+	return s.StatsSince(cut)
+}
+
+// StatsSince summarises the samples with timestamps ≥ cut (Unix
+// nanoseconds; cut ≤ 0 covers the whole ring) without allocating. The
+// explicit cutoff is what makes the watchdog's window evaluation
+// deterministic: the engine derives cut from the tick's own clock instead
+// of re-reading time.Now per series.
+func (s *Series) StatsSince(cut int64) SeriesStats {
+	var st SeriesStats
+	if s == nil {
+		return st
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -214,6 +229,31 @@ func (s *Series) Stats(window time.Duration) SeriesStats {
 		}
 	}
 	return st
+}
+
+// EachSince calls fn for every sample with timestamp ≥ cut (Unix
+// nanoseconds; cut ≤ 0 covers the whole ring), oldest first, without
+// copying the ring. fn runs under the series lock: it must be fast and
+// must not call back into this series.
+func (s *Series) EachSince(cut int64, fn func(ts int64, v float64)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ts)
+	}
+	for i := 0; i < s.n; i++ {
+		j := start + i
+		if j >= len(s.ts) {
+			j -= len(s.ts)
+		}
+		if s.ts[j] >= cut {
+			fn(s.ts[j], s.v[j])
+		}
+	}
 }
 
 // --- Registry integration -------------------------------------------------
