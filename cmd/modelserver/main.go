@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"github.com/sleuth-rca/sleuth/internal/modelserver"
@@ -121,10 +122,20 @@ func main() {
 			}
 		}
 		if cl := server.Cluster; cl != nil {
+			// The engine delivers drift events on its tick goroutine, so a
+			// full recluster must not run inline: it would stall every other
+			// rule and eventually trip the watchdog's own readiness check.
+			var rebuilding atomic.Bool
 			engine.OnDrift(func(ev alert.DriftEvent) {
+				if !rebuilding.CompareAndSwap(false, true) {
+					return // a rebuild is already in flight
+				}
 				fmt.Fprintf(os.Stderr, "modelserver: drift alert %s (psi=%.3f ks=%.3f) — reclustering\n",
 					ev.Rule, ev.PSI, ev.KS)
-				cl.Rebuild()
+				go func() {
+					defer rebuilding.Store(false)
+					cl.Rebuild()
+				}()
 			})
 		}
 		engine.Register()

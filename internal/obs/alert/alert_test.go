@@ -396,6 +396,67 @@ func TestStateMachineForHoldAndFlapDamping(t *testing.T) {
 	}
 }
 
+func TestResolvedDecaysToInactive(t *testing.T) {
+	rule := Rule{
+		Name: "r", Kind: KindThreshold, Series: "s",
+		Agg: AggLast, Op: OpGT, Value: 5,
+	}
+	reg, e := newEngine(t, rule)
+	s := reg.Series("s")
+
+	s.AppendAt(at(time.Second), 10)
+	e.Tick(base) // For=0: fires immediately
+	if a := alertFor(t, e, "r"); a.State != StateFiring {
+		t.Fatalf("state %s, want firing", a.State)
+	}
+	s.AppendAt(base.Add(time.Second).UnixNano(), 1)
+	e.Tick(base.Add(2 * time.Second))
+	if a := alertFor(t, e, "r"); a.State != StateResolved {
+		t.Fatalf("state %s, want resolved", a.State)
+	}
+
+	// The resolved row stays visible through the hold window...
+	tick := base.Add(2 * time.Second)
+	for i := 0; i < resolvedHoldTicks-1; i++ {
+		tick = tick.Add(time.Second)
+		e.Tick(tick)
+	}
+	if a := alertFor(t, e, "r"); a.State != StateResolved {
+		t.Fatalf("mid-hold state %s, want resolved", a.State)
+	}
+	// ...then decays to inactive instead of lingering forever, keeping
+	// the resolve timestamp for history.
+	e.Tick(tick.Add(time.Second))
+	a := alertFor(t, e, "r")
+	if a.State != StateInactive {
+		t.Fatalf("post-hold state %s, want inactive", a.State)
+	}
+	if a.ResolvedAt == 0 {
+		t.Error("decay to inactive dropped ResolvedAt")
+	}
+}
+
+func TestAttachExemplarLowerIsWorse(t *testing.T) {
+	rule := Rule{
+		Name: "low", Kind: KindThreshold, Series: "headroom.p99",
+		Agg: AggLast, Op: OpLT, Value: 50,
+	}
+	reg, e := newEngine(t, rule)
+	h := reg.Histogram("headroom")
+	h.ObserveExemplar(10000, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	h.ObserveExemplar(10, "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	reg.Series("headroom.p99").AppendAt(at(time.Second), 10)
+	e.Tick(base)
+	a := alertFor(t, e, "low")
+	if a.State != StateFiring {
+		t.Fatalf("lt rule did not fire: %+v", a)
+	}
+	// A lower-is-worse rule links the smallest exemplar, not the largest.
+	if a.TraceID != "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb" || a.ExemplarValue != 10 {
+		t.Errorf("lt rule exemplar = %q/%g, want the smallest (10)", a.TraceID, a.ExemplarValue)
+	}
+}
+
 func TestStateMachinePendingClearsToInactive(t *testing.T) {
 	rule := Rule{Name: "r", Kind: KindThreshold, Series: "s",
 		Agg: AggLast, Op: OpGT, Value: 5, For: Duration(time.Minute)}

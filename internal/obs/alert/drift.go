@@ -105,9 +105,11 @@ func (ref *reference) psi(live []float64, scratch *[psiBins]int) float64 {
 
 // ks computes the two-sample Kolmogorov–Smirnov statistic between the
 // frozen reference and live, which must be sorted ascending. Standard
-// two-pointer sweep over the merged order: at every step the CDF of the
-// array holding the smaller next value advances, and the running maximum
-// of |F_ref - F_live| is the statistic. Allocation-free.
+// two-pointer sweep over the merged order: at every step both CDFs
+// advance past the whole tie block of the smallest pending value before
+// the gap is measured — the empirical CDF is right-continuous, so
+// sampling |F_ref - F_live| mid-tie-block would report a spurious gap
+// for constant or discrete-valued series. Allocation-free.
 func (ref *reference) ks(live []float64) float64 {
 	a, b := ref.sorted, live
 	if len(a) == 0 || len(b) == 0 {
@@ -117,9 +119,14 @@ func (ref *reference) ks(live []float64) float64 {
 	var maxGap float64
 	na, nb := float64(len(a)), float64(len(b))
 	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
+		m := a[i]
+		if b[j] < m {
+			m = b[j]
+		}
+		for i < len(a) && a[i] == m {
 			i++
-		} else {
+		}
+		for j < len(b) && b[j] == m {
 			j++
 		}
 		gap := math.Abs(float64(i)/na - float64(j)/nb)

@@ -75,6 +75,43 @@ func TestKSStatistic(t *testing.T) {
 	}
 }
 
+func TestKSHandlesTies(t *testing.T) {
+	constant := func(n int, v float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	// Identical constant samples: both CDFs jump together at the single
+	// tie block, so the statistic must be exactly 0 — a mid-tie-block
+	// sweep would report 1.0 and fire a guaranteed false positive.
+	ref := freezeReference(constant(64, 5))
+	if ks := ref.ks(constant(12, 5)); ks != 0 {
+		t.Errorf("identical constant samples: ks = %g, want 0", ks)
+	}
+	// Identically distributed discrete samples at different sizes: the
+	// CDFs agree at every tie-block boundary, so still exactly 0.
+	discrete := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i % 3)
+		}
+		slices.Sort(out)
+		return out
+	}
+	ref = freezeReference(discrete(60))
+	if ks := ref.ks(discrete(12)); ks != 0 {
+		t.Errorf("identical discrete samples: ks = %g, want 0", ks)
+	}
+	// Tie handling must not blunt real drift: disjoint constants remain
+	// maximally distinguishable.
+	ref = freezeReference(constant(64, 5))
+	if ks := ref.ks(constant(12, 7)); ks != 1 {
+		t.Errorf("disjoint constant samples: ks = %g, want 1", ks)
+	}
+}
+
 func TestDriftRuleLifecycle(t *testing.T) {
 	rule := Rule{
 		Name: "drift", Kind: KindDrift, Series: "score",

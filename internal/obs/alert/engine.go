@@ -35,9 +35,18 @@ const (
 	// StateFiring: the condition has held for For; the alert is active.
 	StateFiring State = "firing"
 	// StateResolved: the alert fired and the condition then stayed clear
-	// for ResolveAfter consecutive ticks.
+	// for ResolveAfter consecutive ticks. A resolved alert that stays
+	// clear decays back to inactive after resolvedHoldTicks further
+	// ticks; its ResolvedAt timestamp is kept for history.
 	StateResolved State = "resolved"
 )
+
+// resolvedHoldTicks is how many further clear ticks a resolved alert
+// stays visible as "resolved" before returning to inactive — 20 ticks is
+// five minutes at the default 15 s interval, long enough for an operator
+// (or `sleuthctl alerts`) to see that something fired and recovered,
+// without /debug/alerts accumulating stale resolved rows forever.
+const resolvedHoldTicks = 20
 
 // Alert is the exported snapshot of one rule's current evaluation.
 type Alert struct {
@@ -345,6 +354,12 @@ func (e *Engine) Tick(now time.Time) {
 				if rs.inactiveTicks >= rs.rule.resolveAfter() {
 					rs.state = StateResolved
 					rs.resolvedAt = now
+					rs.inactiveTicks = 0
+				}
+			case StateResolved:
+				rs.inactiveTicks++
+				if rs.inactiveTicks >= resolvedHoldTicks {
+					rs.state = StateInactive
 				}
 			}
 		}
@@ -552,10 +567,12 @@ func (e *Engine) evalDrift(rs *ruleState, now time.Time) bool {
 		(rs.rule.MaxKS > 0 && rs.ks > rs.rule.MaxKS)
 }
 
-// attachExemplar resolves the worst (largest-value) exemplar of the
-// histogram backing the rule's series, if any, as the alert's trace link.
-// Runs only on the transition into firing, so its allocations are off the
-// steady path. Called under e.mu.
+// attachExemplar resolves the worst exemplar of the histogram backing
+// the rule's series, if any, as the alert's trace link. "Worst" follows
+// the rule's operator: lower-is-worse rules (lt/le) take the smallest
+// observation, everything else the largest. Runs only on the transition
+// into firing, so its allocations are off the steady path. Called under
+// e.mu.
 func (e *Engine) attachExemplar(rs *ruleState) {
 	name := rs.rule.Series
 	if name == "" {
@@ -568,9 +585,16 @@ func (e *Engine) attachExemplar(rs *ruleState) {
 		}
 	}
 	rs.traceID, rs.exemplarValue = "", 0
+	wantMin := rs.rule.Op == OpLT || rs.rule.Op == OpLE
+	seen := false
 	for _, ex := range rs.hist.Exemplars() {
-		if ex.TraceID != "" && ex.Value >= rs.exemplarValue {
+		if ex.TraceID == "" {
+			continue
+		}
+		if !seen || (wantMin && ex.Value < rs.exemplarValue) ||
+			(!wantMin && ex.Value > rs.exemplarValue) {
 			rs.traceID, rs.exemplarValue = ex.TraceID, ex.Value
+			seen = true
 		}
 	}
 }
