@@ -2,7 +2,7 @@ GO ?= go
 BENCHOUT ?= bench-records
 STAMP ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
 
-.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke serve-smoke alert-smoke
+.PHONY: build test race vet fmt verify bench bench-go bench-compare alloc obs-overhead propagation-smoke serve-smoke alert-smoke rca-smoke
 
 build:
 	$(GO) build ./...
@@ -33,8 +33,10 @@ fmt:
 # micro-batched /score path must beat the legacy per-request path at p99
 # under concurrent load), and the watchdog alert smoke (a synthetic p99
 # regression must fire the stock burn-rate rule, link a resolvable
-# exemplar trace and resolve after recovery).
-verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke alert-smoke
+# exemplar trace and resolve after recovery), and the rca-smoke gate (the
+# default-on candidate pruning must predict root-cause sets identical to
+# the unpruned loop on the fixed seed suite).
+verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke alert-smoke rca-smoke
 
 # alloc runs the allocation-regression guards without the race detector:
 # the steady-state training step must allocate (essentially) nothing, the
@@ -43,11 +45,13 @@ verify: fmt vet build race alloc obs-overhead propagation-smoke serve-smoke aler
 # packed-matrix access) must not allocate per call, the ingest tail
 # sampler's per-trace verdict must allocate nothing, a warm serving
 # request through the batcher must cost only the score kernel's per-trace
-# constants, and the watchdog tick — disabled AND enabled steady state —
-# must allocate nothing. These tests auto-skip under -race, so `make race`
+# constants, the watchdog tick — disabled AND enabled steady state —
+# must allocate nothing, and a warm localisation query must stay inside
+# its per-query budget (a lost session cache re-encodes per counterfactual
+# and blows through it). These tests auto-skip under -race, so `make race`
 # alone would never exercise them.
 alloc:
-	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/obs/alert ./internal/cluster ./internal/ingest ./internal/modelserver
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/tensor ./internal/core ./internal/obs ./internal/obs/alert ./internal/cluster ./internal/ingest ./internal/modelserver ./internal/rca
 
 # bench runs the paper's evaluation harness and leaves a machine-readable
 # BENCH_<name>.json per experiment in $(BENCHOUT), stamped with $(STAMP) so
@@ -92,3 +96,10 @@ serve-smoke:
 # shows up on /metrics, and the alert resolves once the regression clears.
 alert-smoke:
 	$(GO) test -run 'TestAlertSmoke' -count=1 ./internal/obs/alert
+
+# rca-smoke is the localisation-equivalence gate: with candidate pruning
+# on (the default), predicted root-cause sets must be identical to the
+# unpruned counterfactual loop's, query by query, on the fixed seed suite
+# — pruning buys latency, never accuracy.
+rca-smoke:
+	$(GO) test -run 'TestRCASmokeEquivalence' -count=1 ./internal/rca

@@ -14,12 +14,15 @@
 //
 // Experiments: fig1 fig3 table1 table3 fig5 fig6 fig7 fig8 instances
 // ablation, plus the hot paths train/pairwise/predict-batch/hdbscan/ingest/
-// serve ("hot" selects all six; "cluster" is shorthand for the hdbscan
-// clustering-pipeline experiment; "ingest" measures the staged streaming
-// pipeline's spans/sec and the sharded store's abnormal-fetch flatness;
-// "serve" is the closed-loop /score comparison of the legacy per-request
-// path against the micro-batched server, with a hard ≥2× throughput /
-// equal-or-better p99 acceptance check).
+// serve/rca ("hot" selects all seven; "cluster" is shorthand for the
+// hdbscan clustering-pipeline experiment; "ingest" measures the staged
+// streaming pipeline's spans/sec and the sharded store's abnormal-fetch
+// flatness; "serve" is the closed-loop /score comparison of the legacy
+// per-request path against the micro-batched server, with a hard ≥2×
+// throughput / equal-or-better p99 acceptance check; "rca" compares the
+// pre-rework per-call localisation loop against the incremental
+// counterfactual session with and without candidate pruning, with hard
+// set-identity and ≥2× ns/query acceptance checks).
 //
 // With -benchout, every experiment additionally writes a machine-readable
 // BENCH_<name>.json (op name, ns/op, allocs/op, bytes/op, timestamp from
@@ -50,13 +53,20 @@ import (
 	"time"
 
 	sleuth "github.com/sleuth-rca/sleuth"
+	"github.com/sleuth-rca/sleuth/internal/chaos"
 	"github.com/sleuth-rca/sleuth/internal/cluster"
+	"github.com/sleuth-rca/sleuth/internal/core"
 	"github.com/sleuth-rca/sleuth/internal/eval"
 	"github.com/sleuth-rca/sleuth/internal/ingest"
 	"github.com/sleuth-rca/sleuth/internal/modelserver"
 	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/rca"
+	"github.com/sleuth-rca/sleuth/internal/sim"
+	"github.com/sleuth-rca/sleuth/internal/stats"
 	"github.com/sleuth-rca/sleuth/internal/store"
+	"github.com/sleuth-rca/sleuth/internal/synth"
 	"github.com/sleuth-rca/sleuth/internal/trace"
+	"github.com/sleuth-rca/sleuth/internal/xrand"
 )
 
 // benchResult is the machine-readable record of one experiment run,
@@ -182,11 +192,11 @@ func main() {
 	for _, e := range strings.Split(*expFlag, ",") {
 		switch e = strings.TrimSpace(e); e {
 		case "all":
-			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve"} {
+			for _, x := range []string{"fig1", "fig3", "table1", "table3", "fig5", "fig6", "fig7", "fig8", "instances", "ablation", "train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve", "rca"} {
 				selected[x] = true
 			}
 		case "hot":
-			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve"} {
+			for _, x := range []string{"train", "pairwise", "predict-batch", "hdbscan", "ingest", "serve", "rca"} {
 				selected[x] = true
 			}
 		case "cluster":
@@ -658,6 +668,201 @@ func main() {
 			NsPerOp:     int64(1e9 / batchedThr),
 			AllocsPerOp: (after.Mallocs - before.Mallocs) / requests,
 			BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / requests,
+			Timestamp:   *stamp,
+			Seed:        *seed,
+			Full:        *full,
+		})
+	}
+
+	// The rca experiment compares three localisation engines on the trigger
+	// mix a deployed localizer sees against a Synthetic-256 app: the
+	// pre-rework per-call counterfactual loop (one encode + full GNN forward
+	// per restoration question), the incremental counterfactual session with
+	// pruning off, and the shipped default (session + candidate pruning).
+	// Half the queries are SLO violations from random chaos plans, half are
+	// fault-free tail-latency violations — the latter exhaust the whole
+	// candidate loop and are where the incremental engine's cached forwards
+	// pay off. Acceptance is hard on both axes: legacy and session must
+	// predict identical service sets on every query (the engine is
+	// bit-identical by construction), and the default engine must run ≥2×
+	// faster than legacy per query, or the run fails.
+	if selected["rca"] {
+		fmt.Printf("\n=== RCA — localisation: per-call loop vs incremental session vs session+pruning (Synthetic-256) ===\n")
+		app := synth.Synthetic(256, *seed)
+		simr := sim.New(app, sim.DefaultOptions(*seed))
+		normalRes, err := simr.Run(0, 80)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: rca: %v\n", err)
+			os.Exit(1)
+		}
+		normal := sim.Traces(normalRes)
+		mixed := append([]*trace.Trace{}, normal...)
+		for b := 0; b < 6; b++ {
+			plan := chaos.GeneratePlan(app, chaos.DefaultPlanParams(), xrand.New(*seed+uint64(100+b)))
+			res, err := simr.RunWithInjector(1000+b*10, 8, chaos.NewInjector(app, plan))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: rca: %v\n", err)
+				os.Exit(1)
+			}
+			mixed = append(mixed, sim.Traces(res)...)
+		}
+		model := core.NewModel(core.Config{EmbeddingDim: 8, Hidden: 24, Seed: *seed})
+		if _, err := model.Train(mixed, core.TrainOptions{Epochs: 3, LearningRate: 3e-3, Seed: *seed}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: rca: %v\n", err)
+			os.Exit(1)
+		}
+		model.SetNormals(normal)
+		var durs []float64
+		for _, r := range normalRes {
+			durs = append(durs, float64(r.Duration))
+		}
+		slo := stats.Percentile(durs, 95)
+
+		// Query workload, mirroring internal/rca's benchQueries: half
+		// single-incident chaos violations (the loop usually normalises
+		// after restoring the true root), half from a wide-blast plan that
+		// faults more services than MaxCandidates — the cascading-outage
+		// case where no affordable restoration subset clears every error and
+		// the candidate loop runs to exhaustion.
+		const nQueries = 32
+		var queries []*trace.Trace
+		for p := 0; len(queries) < nQueries/2 && p < nQueries*8; p++ {
+			plan := chaos.GeneratePlan(app, chaos.DefaultPlanParams(), xrand.New(*seed+uint64(500+p)))
+			for id := 0; id < 4 && len(queries) < nQueries/2; id++ {
+				sample, err := simr.SimulateWithTruth(p*10+id, plan)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchrunner: rca: %v\n", err)
+					os.Exit(1)
+				}
+				if float64(sample.Result.Duration) > slo || sample.Result.Errored {
+					queries = append(queries, sample.Result.Trace)
+				}
+			}
+		}
+		wideWant := len(app.Services) / 2
+		if min := rca.DefaultOptions().MaxCandidates + 4; wideWant < min {
+			wideWant = min
+		}
+		wideStep := len(app.Services) / wideWant
+		if wideStep < 1 {
+			wideStep = 1
+		}
+		var wideFaults []chaos.Fault
+		for svc := 0; svc < len(app.Services) && len(wideFaults) < wideWant; svc += wideStep {
+			wideFaults = append(wideFaults, chaos.Fault{
+				Type: chaos.FaultCPU, Level: chaos.LevelContainer,
+				Target: app.Services[svc].Name, SlowFactor: 3, ErrorProb: 0.9,
+			})
+		}
+		widePlan := chaos.NewPlan(app, wideFaults...)
+		for id := 2000; len(queries) < nQueries && id < 2000+nQueries*20; id++ {
+			sample, err := simr.SimulateWithTruth(id, widePlan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: rca: %v\n", err)
+				os.Exit(1)
+			}
+			if float64(sample.Result.Duration) > slo || sample.Result.Errored {
+				queries = append(queries, sample.Result.Trace)
+			}
+		}
+		if len(queries) < nQueries {
+			fmt.Fprintf(os.Stderr, "benchrunner: rca: only %d/%d SLO-violating queries found\n", len(queries), nQueries)
+			os.Exit(1)
+		}
+
+		prunedOpts := rca.DefaultOptions()
+		prunedOpts.Prune = true
+		unprunedOpts := prunedOpts
+		unprunedOpts.Prune = false
+		arms := []struct {
+			name     string
+			localize func(tr *trace.Trace) []string
+		}{
+			{"legacy", func(tr *trace.Trace) []string {
+				return rca.NewLocalizer(model, unprunedOpts).LocalizeReference(tr, slo).Services
+			}},
+			{"session", func(tr *trace.Trace) []string {
+				return rca.NewLocalizer(model, unprunedOpts).Localize(tr, slo)
+			}},
+			{"pruned", func(tr *trace.Trace) []string {
+				return rca.NewLocalizer(model, prunedOpts).Localize(tr, slo)
+			}},
+		}
+
+		rounds := 5
+		if *full {
+			rounds = 20
+		}
+		sets := make([][][]string, len(arms))
+		ns := make([]int64, len(arms))
+		var prunedAllocs, prunedBytes uint64
+		for ai, arm := range arms {
+			for _, q := range queries { // warm arena pools and model caches
+				_ = arm.localize(q)
+			}
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					pred := arm.localize(q)
+					if r == 0 {
+						if sets[ai] == nil {
+							sets[ai] = make([][]string, len(queries))
+						}
+						sets[ai][qi] = pred
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			n := int64(rounds * len(queries))
+			ns[ai] = elapsed.Nanoseconds() / n
+			if arm.name == "pruned" {
+				prunedAllocs = (after.Mallocs - before.Mallocs) / uint64(n)
+				prunedBytes = (after.TotalAlloc - before.TotalAlloc) / uint64(n)
+			}
+			fmt.Printf("  %-8s %10d ns/query\n", arm.name, ns[ai])
+		}
+
+		equal := func(a, b []string) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for qi := range queries {
+			if !equal(sets[0][qi], sets[1][qi]) {
+				fmt.Fprintf(os.Stderr, "benchrunner: rca: session diverged from legacy on query %d: %v != %v\n",
+					qi, sets[1][qi], sets[0][qi])
+				os.Exit(1)
+			}
+		}
+		agree := 0
+		for qi := range queries {
+			if equal(sets[0][qi], sets[2][qi]) {
+				agree++
+			}
+		}
+		speedup := float64(ns[0]) / float64(ns[2])
+		fmt.Printf("pruned+session vs legacy: %.2fx ns/query; session==legacy sets on %d/%d; pruned agreement %d/%d\n",
+			speedup, len(queries), len(queries), agree, len(queries))
+		if speedup < 2 {
+			fmt.Fprintf(os.Stderr, "benchrunner: rca: pruned+session must be >=2x legacy ns/query (got %.2fx)\n", speedup)
+			os.Exit(1)
+		}
+		record(benchResult{
+			Op:          "localize",
+			NsPerOp:     ns[2],
+			AllocsPerOp: prunedAllocs,
+			BytesPerOp:  prunedBytes,
 			Timestamp:   *stamp,
 			Seed:        *seed,
 			Full:        *full,

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/sleuth-rca/sleuth/internal/rca"
+)
+
+// renderPruning writes the per-candidate kept/cut audit trail of one
+// localisation under `sleuthctl rca -explain`: one line per candidate in
+// rank order, with the deciding rule, the statistic it evaluated and the
+// threshold it was held against.
+func renderPruning(w io.Writer, indent string, pruned int, decisions []rca.PruneDecision) {
+	if len(decisions) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%spruning: kept %d/%d candidates\n", indent, len(decisions)-pruned, len(decisions))
+	for _, d := range decisions {
+		verdict := "cut "
+		if d.Kept {
+			verdict = "keep"
+		}
+		fmt.Fprintf(w, "%s  %s %-24s %s\n", indent, verdict, d.Service, ruleDetail(d))
+	}
+}
+
+// ruleDetail renders a decision's evidence in rule-specific terms.
+func ruleDetail(d rca.PruneDecision) string {
+	switch d.Rule {
+	case rca.RuleTop:
+		return fmt.Sprintf("rule=top          score=%.2f (rank 0 always enters the loop)", d.Statistic)
+	case rca.RuleError:
+		return fmt.Sprintf("rule=error        exclusive-error spans=%.0f >= %.0f", d.Statistic, d.Threshold)
+	case rca.RuleDuration:
+		return fmt.Sprintf("rule=duration     z=%.2f >= %.2f", d.Statistic, d.Threshold)
+	case rca.RuleLowZ:
+		return fmt.Sprintf("rule=low-z        z=%.2f < %.2f", d.Statistic, d.Threshold)
+	case rca.RuleUnreachable:
+		return "rule=unreachable  no span on a synchronous path from the root"
+	}
+	return fmt.Sprintf("rule=%s", d.Rule)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sleuth-rca/sleuth/internal/rca"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// explainFixture covers every pruning rule once, in rank order.
+func explainFixture() (pruned int, decisions []rca.PruneDecision) {
+	decisions = []rca.PruneDecision{
+		{Service: "coupon-service", Score: 10.11, Kept: true, Rule: rca.RuleTop, Statistic: 10.11, Threshold: 0},
+		{Service: "cart", Score: 0.99, Kept: true, Rule: rca.RuleDuration, Statistic: 4.15, Threshold: 1},
+		{Service: "wallet", Score: 0.41, Kept: true, Rule: rca.RuleError, Statistic: 2, Threshold: 1},
+		{Service: "user", Score: 0.13, Kept: false, Rule: rca.RuleLowZ, Statistic: 0.21, Threshold: 1},
+		{Service: "audit-log", Score: 0.02, Kept: false, Rule: rca.RuleUnreachable, Threshold: 1},
+	}
+	return 2, decisions
+}
+
+// TestRenderPruningGolden pins the `sleuthctl rca -explain` audit-trail
+// format: one line per candidate with the deciding rule, statistic and
+// threshold. Regenerate with `go test ./cmd/sleuthctl -run Golden -update`.
+func TestRenderPruningGolden(t *testing.T) {
+	pruned, decisions := explainFixture()
+	var buf bytes.Buffer
+	renderPruning(&buf, "    ", pruned, decisions)
+	golden := filepath.Join("testdata", "explain.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("explain output drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRenderPruningEmpty: no decisions (pruning off or Explain unset)
+// must render nothing rather than an empty header.
+func TestRenderPruningEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	renderPruning(&buf, "    ", 0, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("expected no output, got %q", buf.String())
+	}
+}

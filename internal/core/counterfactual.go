@@ -60,51 +60,20 @@ func (m *Model) Counterfactual(tr *trace.Trace, restored map[int]bool) Counterfa
 
 	dur := make([]float64, n) // µs
 	errp := make([]float64, n)
+	return m.counterfactualRecompute(tr, func(i int) bool { return restored[i] },
+		normalDur, normalExcl, h, order, dur, errp)
+}
+
+// counterfactualRecompute is the shared bottom-up ancestral pass of a
+// counterfactual query (Eq. 2 / Eq. 3 over recomputed child values,
+// deepest spans first). Both the per-call Counterfactual and the
+// incremental CounterfactualSession delegate here so the two paths cannot
+// drift numerically; the scratch slices dur/errp must each have length
+// tr.Len() and are overwritten.
+func (m *Model) counterfactualRecompute(tr *trace.Trace, restored func(int) bool,
+	normalDur, normalExcl []float64, h *tensor.Tensor, order []int, dur, errp []float64) CounterfactualResult {
 	for _, i := range order {
-		kids := tr.Children(i)
-		// Exclusive components under the intervention.
-		exclDur := float64(tr.ExclusiveDuration(i))
-		exclErr := 0.0
-		if tr.ExclusiveError(i) {
-			exclErr = 1
-		}
-		if restored[i] {
-			exclDur = normalExcl[i]
-			exclErr = 0
-		}
-		if len(kids) == 0 {
-			if restored[i] {
-				dur[i] = normalDur[i]
-			} else {
-				dur[i] = math.Max(float64(tr.Spans[i].Duration()), 1)
-			}
-			errp[i] = exclErr
-			continue
-		}
-		// Eq. 2 over recomputed child durations.
-		total := exclDur
-		maxErr := exclErr
-		for _, j := range kids {
-			if m.cfg.PlainSum {
-				total += dur[j]
-			} else {
-				v := math.Pow(10, clampf(h.At(j, 1), -2, 8))
-				u := v * sigmoid(h.At(j, 0))
-				total += smoothClippedReLU(dur[j], u, v, smoothFrac*dur[j]+1)
-			}
-			// Eq. 3 child terms with recomputed values.
-			propagated := errp[j] * sigmoid(h.At(j, 2))
-			dScaled := features.ScaleDuration(int64(math.Max(dur[j], 1)))
-			durInduced := sigmoid(h.At(j, 3)*dScaled + h.At(j, 4))
-			if propagated > maxErr {
-				maxErr = propagated
-			}
-			if durInduced > maxErr {
-				maxErr = durInduced
-			}
-		}
-		dur[i] = math.Max(total, 1)
-		errp[i] = maxErr
+		dur[i], errp[i] = m.cfNode(tr, restored, normalDur, normalExcl, h, dur, errp, i)
 	}
 
 	root := tr.Roots()[0]
@@ -112,6 +81,84 @@ func (m *Model) Counterfactual(tr *trace.Trace, restored map[int]bool) Counterfa
 		RootDurationMicros: dur[root],
 		RootErrorProb:      errp[root],
 	}
+}
+
+// counterfactualRecomputeDirty is the incremental form of the bottom-up
+// pass: dur/errp hold valid values from a previous pass, dirty marks the
+// nodes whose inputs may have changed (restoration toggles and parents of
+// recomputed h rows). Nodes are revisited in the same deepest-first order;
+// a node whose recomputed value is bit-identical to the cached one stops
+// the propagation, otherwise its parent is marked. dirty is cleared as a
+// side effect.
+func (m *Model) counterfactualRecomputeDirty(tr *trace.Trace, restored func(int) bool,
+	normalDur, normalExcl []float64, h *tensor.Tensor, order []int, dur, errp []float64,
+	dirty []bool) CounterfactualResult {
+	for _, i := range order {
+		if !dirty[i] {
+			continue
+		}
+		dirty[i] = false
+		d, e := m.cfNode(tr, restored, normalDur, normalExcl, h, dur, errp, i)
+		if d != dur[i] || e != errp[i] {
+			dur[i], errp[i] = d, e
+			if p := tr.Parent(i); p >= 0 {
+				dirty[p] = true
+			}
+		}
+	}
+
+	root := tr.Roots()[0]
+	return CounterfactualResult{
+		RootDurationMicros: dur[root],
+		RootErrorProb:      errp[root],
+	}
+}
+
+// cfNode computes one node's Eq. 2 / Eq. 3 values from its children's
+// already-recomputed dur/errp entries — the single source of the
+// counterfactual math for the full, incremental and per-call paths.
+func (m *Model) cfNode(tr *trace.Trace, restored func(int) bool,
+	normalDur, normalExcl []float64, h *tensor.Tensor, dur, errp []float64, i int) (float64, float64) {
+	kids := tr.Children(i)
+	// Exclusive components under the intervention.
+	exclDur := float64(tr.ExclusiveDuration(i))
+	exclErr := 0.0
+	if tr.ExclusiveError(i) {
+		exclErr = 1
+	}
+	if restored(i) {
+		exclDur = normalExcl[i]
+		exclErr = 0
+	}
+	if len(kids) == 0 {
+		if restored(i) {
+			return normalDur[i], exclErr
+		}
+		return math.Max(float64(tr.Spans[i].Duration()), 1), exclErr
+	}
+	// Eq. 2 over recomputed child durations.
+	total := exclDur
+	maxErr := exclErr
+	for _, j := range kids {
+		if m.cfg.PlainSum {
+			total += dur[j]
+		} else {
+			v := math.Pow(10, clampf(h.At(j, 1), -2, 8))
+			u := v * sigmoid(h.At(j, 0))
+			total += smoothClippedReLU(dur[j], u, v, smoothFrac*dur[j]+1)
+		}
+		// Eq. 3 child terms with recomputed values.
+		propagated := errp[j] * sigmoid(h.At(j, 2))
+		dScaled := features.ScaleDuration(int64(math.Max(dur[j], 1)))
+		durInduced := sigmoid(h.At(j, 3)*dScaled + h.At(j, 4))
+		if propagated > maxErr {
+			maxErr = propagated
+		}
+		if durInduced > maxErr {
+			maxErr = durInduced
+		}
+	}
+	return math.Max(total, 1), maxErr
 }
 
 // smoothClippedReLU mirrors the model's smoothed Eq. 2 clipping window:

@@ -99,7 +99,12 @@ type aggregator interface {
 type NormalStats struct {
 	MedianDuration          float64 // µs
 	MedianExclusiveDuration float64 // µs
-	Count                   int
+	// SigmaExclusiveDuration is a robust spread estimate of the exclusive
+	// duration (IQR/1.349, the normal-consistent scale), in µs. Pruning
+	// uses it to turn an observed exclusive duration into a z-score
+	// without being skewed by the heavy latency tail.
+	SigmaExclusiveDuration float64
+	Count                  int
 }
 
 // Model is the Sleuth trace model. Its parameter count is independent of
@@ -771,6 +776,7 @@ func (m *Model) SetNormals(traces []*trace.Trace) {
 		m.normals[key] = NormalStats{
 			MedianDuration:          stats.PercentileSorted(rd, 50),
 			MedianExclusiveDuration: stats.PercentileSorted(re, 50),
+			SigmaExclusiveDuration:  robustSigmaSorted(re),
 			Count:                   end - start,
 		}
 		start = end
@@ -780,8 +786,17 @@ func (m *Model) SetNormals(traces []*trace.Trace) {
 	m.globalNormal = NormalStats{
 		MedianDuration:          stats.PercentileSorted(durs, 50),
 		MedianExclusiveDuration: stats.PercentileSorted(excls, 50),
+		SigmaExclusiveDuration:  robustSigmaSorted(excls),
 		Count:                   total,
 	}
+}
+
+// robustSigmaSorted estimates spread from an already-sorted sample as
+// IQR/1.349 — the scale factor that makes the estimate agree with the
+// standard deviation under normality while ignoring the latency tail.
+func robustSigmaSorted(sorted []float64) float64 {
+	iqr := stats.PercentileSorted(sorted, 75) - stats.PercentileSorted(sorted, 25)
+	return iqr / 1.349
 }
 
 // normalShrinkCount is the sample count below which per-operation medians
@@ -804,6 +819,7 @@ func (m *Model) Normal(opKey string) NormalStats {
 	return NormalStats{
 		MedianDuration:          w*n.MedianDuration + (1-w)*m.globalNormal.MedianDuration,
 		MedianExclusiveDuration: w*n.MedianExclusiveDuration + (1-w)*m.globalNormal.MedianExclusiveDuration,
+		SigmaExclusiveDuration:  w*n.SigmaExclusiveDuration + (1-w)*m.globalNormal.SigmaExclusiveDuration,
 		Count:                   n.Count,
 	}
 }

@@ -41,6 +41,12 @@ type Graph struct {
 	// childGatherIdx is childGroup with leaves mapped to the sentinel row
 	// at index nGroups, ready for GatherChildGroups.
 	childGatherIdx []int
+	// groupStart/groupItems form a CSR index of group membership: the
+	// members of group g are groupItems[groupStart[g]:groupStart[g+1]], in
+	// ascending node order — the accumulation order SegmentSum uses, which
+	// incremental per-group recomputation must reproduce exactly.
+	groupStart []int
+	groupItems []int
 }
 
 // NewGraph builds a Graph from parent pointers and precomputes every
@@ -94,7 +100,23 @@ func NewGraph(parent []int) *Graph {
 			g.parentIdx[i] = p
 		}
 	}
+	g.groupStart = make([]int, g.nGroups+1)
+	for gid, c := range g.groupCount {
+		g.groupStart[gid+1] = g.groupStart[gid] + c
+	}
+	g.groupItems = make([]int, n)
+	fill := append([]int(nil), g.groupStart[:g.nGroups]...)
+	for i, gid := range g.group {
+		g.groupItems[fill[gid]] = i
+		fill[gid]++
+	}
 	return g
+}
+
+// GroupMembers returns the node indexes of group gid in ascending order.
+// The slice aliases the graph's CSR index — callers must not mutate it.
+func (g *Graph) GroupMembers(gid int) []int {
+	return g.groupItems[g.groupStart[gid]:g.groupStart[gid+1]]
 }
 
 // N returns the number of nodes.

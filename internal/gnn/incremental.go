@@ -1,0 +1,154 @@
+package gnn
+
+import (
+	"sort"
+
+	"github.com/sleuth-rca/sleuth/internal/obs"
+	"github.com/sleuth-rca/sleuth/internal/tensor"
+)
+
+// GINIncremental caches one GINSiblingConv forward over a fixed graph and
+// recomputes only the output rows whose inputs changed. The convolution is
+// row-local once the sibling-group sums are known: row j reads its
+// parent's xStar row, its own x row and its group's sum, then runs the MLP
+// on that single concatenated row. A feature edit at node j therefore
+// invalidates exactly the members of j's sibling group (they share the
+// group sum) and j's children (they read xStar[j] as the parent term) —
+// for trace graphs a handful of rows out of hundreds.
+//
+// Bit-identity with the full Forward is structural, not approximate: group
+// sums are re-accumulated in SegmentSum's member order, row inputs are
+// assembled with the same expression shape the tensor ops evaluate, and
+// the MLP rows run the same fused kernel via nn.(*MLP).ForwardRow. The
+// core counterfactual-session equivalence test gates this end to end.
+//
+// A GINIncremental is bound to one graph and not safe for concurrent use.
+type GINIncremental struct {
+	c *GINSiblingConv
+	g *Graph
+
+	groupSum []float64      // [nGroups × nodeDim] cached sibling-group sums
+	h        *tensor.Tensor // [n × outDim] cached forward output
+
+	in1      []float64 // row scratch: [parentDim | nodeDim] MLP input
+	sa, sb   []float64 // MLP ping-pong scratch
+	mark     []bool    // per-row affected flags
+	gmark    []bool    // per-group recompute flags
+	affected []int     // reused affected-row list
+	outDim   int
+}
+
+// NewIncremental creates an incremental evaluator for the convolution over
+// g, or nil when the MLP configuration has no row-exact kernel (callers
+// then fall back to full forwards).
+func (c *GINSiblingConv) NewIncremental(g *Graph) *GINIncremental {
+	if !c.MLP.RowCompatible() {
+		return nil
+	}
+	last := c.MLP.Layers[len(c.MLP.Layers)-1]
+	w := c.MLP.MaxWidth()
+	return &GINIncremental{
+		c:        c,
+		g:        g,
+		groupSum: make([]float64, g.nGroups*c.nodeDim),
+		in1:      make([]float64, c.parentDim+c.nodeDim),
+		sa:       make([]float64, w),
+		sb:       make([]float64, w),
+		mark:     make([]bool, g.N()),
+		gmark:    make([]bool, g.nGroups),
+		outDim:   last.Out(),
+	}
+}
+
+// Prime runs one full Forward and snapshots its output and the sibling
+// group sums into session-owned heap buffers (xStar/x may be arena views;
+// the caller resets the arena after Prime returns). The returned tensor is
+// the cached h — later Update calls mutate its rows in place.
+func (s *GINIncremental) Prime(xStar, x *tensor.Tensor) *tensor.Tensor {
+	full := s.c.Forward(s.g, xStar, x)
+	if s.h == nil {
+		s.h = tensor.Zeros(s.g.N(), s.outDim)
+	}
+	copy(s.h.Data, full.Data)
+	gs := tensor.SegmentSum(x, s.g.group, s.g.nGroups)
+	copy(s.groupSum, gs.Data)
+	return s.h
+}
+
+// Update recomputes the h rows affected by edits to the given x/xStar rows
+// and returns the affected row indexes (ascending; the slice is reused
+// across calls). Prime must have run first against the pre-edit features'
+// history — Update only needs the current tensors.
+func (s *GINIncremental) Update(xStar, x *tensor.Tensor, changed []int) []int {
+	nodeDim := s.c.nodeDim
+	parentDim := s.c.parentDim
+	s.affected = s.affected[:0]
+	for _, j := range changed {
+		gid := s.g.group[j]
+		if !s.gmark[gid] {
+			s.gmark[gid] = true
+			for _, mem := range s.g.GroupMembers(gid) {
+				if !s.mark[mem] {
+					s.mark[mem] = true
+					s.affected = append(s.affected, mem)
+				}
+			}
+		}
+		if cg := s.g.childGroup[j]; cg >= 0 {
+			for _, kid := range s.g.GroupMembers(cg) {
+				if !s.mark[kid] {
+					s.mark[kid] = true
+					s.affected = append(s.affected, kid)
+				}
+			}
+		}
+	}
+	// Re-accumulate dirtied group sums from scratch in SegmentSum's member
+	// order — an in-place "-= old += new" would change the fp accumulation
+	// order and break bit-identity.
+	for _, j := range changed {
+		gid := s.g.group[j]
+		if !s.gmark[gid] {
+			continue
+		}
+		s.gmark[gid] = false
+		dst := s.groupSum[gid*nodeDim : (gid+1)*nodeDim]
+		for i := range dst {
+			dst[i] = 0
+		}
+		for _, mem := range s.g.GroupMembers(gid) {
+			src := x.Data[mem*nodeDim : (mem+1)*nodeDim]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}
+	sort.Ints(s.affected)
+	eps1 := s.c.Eps.Data[0] + 1
+	for _, r := range s.affected {
+		s.mark[r] = false
+		// Parent term: xStar row of the parent, zeros for roots — the
+		// sentinel row ParentFeatures gathers.
+		if p := s.g.Parent[r]; p >= 0 {
+			copy(s.in1[:parentDim], xStar.Data[p*parentDim:(p+1)*parentDim])
+		} else {
+			for i := 0; i < parentDim; i++ {
+				s.in1[i] = 0
+			}
+		}
+		// Aggregation term, with the full path's expression shape:
+		// (x·(1+ε)) + (groupSum − x).
+		gid := s.g.group[r]
+		gsRow := s.groupSum[gid*nodeDim : (gid+1)*nodeDim]
+		xRow := x.Data[r*nodeDim : (r+1)*nodeDim]
+		for i := 0; i < nodeDim; i++ {
+			s.in1[parentDim+i] = xRow[i]*eps1 + (gsRow[i] - xRow[i])
+		}
+		s.c.MLP.ForwardRow(s.in1, s.sa, s.sb, s.h.Data[r*s.outDim:(r+1)*s.outDim])
+	}
+	obs.C("gnn.incremental_rows").Add(int64(len(s.affected)))
+	return s.affected
+}
+
+// H returns the cached forward output (valid after Prime).
+func (s *GINIncremental) H() *tensor.Tensor { return s.h }

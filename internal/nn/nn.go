@@ -139,6 +139,54 @@ func (m *MLP) Params() []Param {
 	return ps
 }
 
+// RowCompatible reports whether ForwardRow can reproduce Forward for this
+// MLP: stock-ReLU hidden layers (the fused path) and a linear output. MLPs
+// assembled by NewMLP with nn.ReLU qualify.
+func (m *MLP) RowCompatible() bool {
+	return m.fuseReLU && isIdentity(m.OutAct)
+}
+
+// isIdentity reports whether act is the package's stock Identity.
+func isIdentity(act Activation) bool {
+	return act != nil && reflect.ValueOf(act).Pointer() == reflect.ValueOf(Identity).Pointer()
+}
+
+// MaxWidth returns the widest layer output — the scratch size ForwardRow
+// needs.
+func (m *MLP) MaxWidth() int {
+	w := 0
+	for _, l := range m.Layers {
+		if l.Out() > w {
+			w = l.Out()
+		}
+	}
+	return w
+}
+
+// ForwardRow applies the MLP to a single input row without building tape
+// nodes, writing the result into out (length of the final layer's width).
+// scratchA and scratchB are caller-owned ping-pong buffers of MaxWidth()
+// elements. Each layer runs the same fused row kernel the full-matrix
+// Forward runs, so the output is bit-identical to the corresponding row of
+// Forward — the contract incremental GNN updates rely on. Callers must
+// check RowCompatible first; other activation configurations panic.
+func (m *MLP) ForwardRow(in, scratchA, scratchB, out []float64) {
+	if !m.RowCompatible() {
+		panic("nn: ForwardRow on a non-row-compatible MLP")
+	}
+	cur := in
+	bufs := [2][]float64{scratchA, scratchB}
+	for i, l := range m.Layers {
+		last := i+1 == len(m.Layers)
+		dst := bufs[i%2][:l.Out()]
+		if last {
+			dst = out
+		}
+		tensor.AddMMRowInto(dst, cur, l.W, l.B, !last)
+		cur = dst
+	}
+}
+
 // LayerNorm normalises each row to zero mean and unit variance and applies
 // a learned affine transform.
 type LayerNorm struct {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package rca
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations, so AllocsPerRun bounds only hold without it.
+const raceEnabled = false

@@ -52,11 +52,42 @@ type Options struct {
 	// ErrScoreWeight weighs one exclusive error against a decade of
 	// excess exclusive duration in candidate ranking.
 	ErrScoreWeight float64
+	// Prune enables the adaptive candidate-pruning stage: candidates with
+	// no cheap statistical evidence (no exclusive error, no sync-reachable
+	// span PruneZ robust sigmas above its normal median) are cut before
+	// any counterfactual forward pass. The SLEUTH_RCA_PRUNE environment
+	// variable overrides the default ("off" disables, a number replaces
+	// PruneZ).
+	Prune bool
+	// PruneZ is the robust exclusive-duration z-score at or above which
+	// the duration rule keeps a candidate.
+	PruneZ float64
+	// Explain records a PruneDecision per candidate in Result.Pruning —
+	// the kept/cut audit trail behind `sleuthctl rca -explain`.
+	Explain bool
 }
 
-// DefaultOptions returns the shipped localiser configuration.
+// defaultPruneZ is the shipped duration-rule threshold: one robust sigma
+// above the normal median. Deliberately permissive — the pruning stage
+// exists to cut bystanders (z ≈ 0, services that merely appear in the
+// trace), not to adjudicate weak evidence; anything with even mild excess
+// stays in and the counterfactual loop makes the final call. Raising the
+// threshold cuts more but risks diverging from the unpruned loop on
+// traces that only normalise once marginal candidates are restored.
+const defaultPruneZ = 1
+
+// DefaultOptions returns the shipped localiser configuration, with the
+// SLEUTH_RCA_PRUNE environment override applied.
 func DefaultOptions() Options {
-	return Options{MaxCandidates: 5, ErrThreshold: 0.5, ErrScoreWeight: 3}
+	opts := Options{
+		MaxCandidates:  5,
+		ErrThreshold:   0.5,
+		ErrScoreWeight: 3,
+		Prune:          true,
+		PruneZ:         defaultPruneZ,
+	}
+	applyPruneEnv(&opts)
+	return opts
 }
 
 // Localizer is Sleuth's counterfactual root-cause analyser.
@@ -69,6 +100,9 @@ type Localizer struct {
 func NewLocalizer(m *core.Model, opts Options) *Localizer {
 	if opts.MaxCandidates <= 0 {
 		opts = DefaultOptions()
+	}
+	if opts.Prune && opts.PruneZ <= 0 {
+		opts.PruneZ = defaultPruneZ
 	}
 	return &Localizer{Model: m, Opts: opts}
 }
@@ -191,6 +225,13 @@ type Result struct {
 	// PredictedDuration is the counterfactual duration with the final
 	// restoration set applied (µs).
 	PredictedDuration float64
+	// PrunedCandidates counts candidates cut by the pruning stage before
+	// the counterfactual loop (0 when pruning is off).
+	PrunedCandidates int
+	// Pruning is the per-candidate kept/cut audit trail — which rule
+	// fired, the statistic it evaluated and the threshold it used —
+	// recorded only when Options.Explain is set.
+	Pruning []PruneDecision
 }
 
 // Localize implements Algorithm.
@@ -260,6 +301,78 @@ func (l *Localizer) localizeDetailed(tr *trace.Trace, sloMicros float64) Result 
 		timer.Stop()
 		return Result{}
 	}
+	// Pruning stage: cut candidates no cheap statistic can implicate
+	// before spending any GNN forward pass on them.
+	var decisions []PruneDecision
+	pruned := 0
+	if l.Opts.Prune {
+		var kept []candidate
+		kept, decisions = l.prune(tr, cands)
+		pruned = len(cands) - len(kept)
+		cands = kept
+		obs.C("rca.pruned_candidates").Add(int64(pruned))
+		obs.S("rca.localize.pruned").Append(float64(pruned))
+	}
+	finish := func(res Result) Result {
+		res.PrunedCandidates = pruned
+		if l.Opts.Explain {
+			res.Pruning = decisions
+		}
+		return res
+	}
+	max := l.Opts.MaxCandidates
+	if max > len(cands) {
+		max = len(cands)
+	}
+	// One counterfactual session per localisation: encoding, graph,
+	// normals and depth order are computed once; the loop below touches
+	// only the delta rows each iteration adds.
+	sess := l.Model.NewCounterfactualSession(tr)
+	defer func() {
+		obs.C("rca.counterfactual_rows_updated").Add(sess.RowsUpdated())
+		sess.Close()
+	}()
+	spanBudget := 0
+	for k := 0; k < max; k++ {
+		spanBudget += len(cands[k].spans)
+	}
+	restored := make(map[int]bool, spanBudget)
+	var used []string
+	for k := 0; k < max; k++ {
+		for _, si := range cands[k].spans {
+			restored[si] = true
+		}
+		used = append(used, cands[k].service)
+		cf := sess.Counterfactual(restored)
+		cfCtr.Inc()
+		if cf.RootDurationMicros <= sloMicros && cf.RootErrorProb < l.Opts.ErrThreshold {
+			obs.C("rca.normalized").Inc()
+			timer.Stop()
+			return finish(l.result(tr, used, true, cf.RootDurationMicros))
+		}
+	}
+	// Never normalised: report only the top candidate — the remaining
+	// excess is not explained by restorations, so piling on candidates
+	// would only cost precision.
+	cf := sess.Counterfactual(spanSet(cands[0].spans))
+	cfCtr.Inc()
+	timer.Stop()
+	return finish(l.result(tr, []string{cands[0].service}, false, cf.RootDurationMicros))
+}
+
+// LocalizeReference runs the pre-session, unpruned localisation loop: one
+// full per-call Model.Counterfactual per restoration step — re-encoding
+// the trace, rebuilding feature copies and re-sorting the depth order
+// every iteration — with no pruning stage. It is the measurement baseline
+// for `benchrunner -exp rca` and BenchmarkLocalize, and a behavioural
+// reference: its predictions are identical to Localize with pruning off
+// (the session engine is bit-equivalent to the per-call path). It records
+// no telemetry.
+func (l *Localizer) LocalizeReference(tr *trace.Trace, sloMicros float64) Result {
+	cands := l.Candidates(tr)
+	if len(cands) == 0 {
+		return Result{}
+	}
 	max := l.Opts.MaxCandidates
 	if max > len(cands) {
 		max = len(cands)
@@ -272,19 +385,11 @@ func (l *Localizer) localizeDetailed(tr *trace.Trace, sloMicros float64) Result 
 		}
 		used = append(used, cands[k].service)
 		cf := l.Model.Counterfactual(tr, restored)
-		cfCtr.Inc()
 		if cf.RootDurationMicros <= sloMicros && cf.RootErrorProb < l.Opts.ErrThreshold {
-			obs.C("rca.normalized").Inc()
-			timer.Stop()
 			return l.result(tr, used, true, cf.RootDurationMicros)
 		}
 	}
-	// Never normalised: report only the top candidate — the remaining
-	// excess is not explained by restorations, so piling on candidates
-	// would only cost precision.
 	cf := l.Model.Counterfactual(tr, spanSet(cands[0].spans))
-	cfCtr.Inc()
-	timer.Stop()
 	return l.result(tr, []string{cands[0].service}, false, cf.RootDurationMicros)
 }
 
@@ -296,7 +401,10 @@ func spanSet(idx []int) map[int]bool {
 	return m
 }
 
-// result maps services back to pods and nodes via the trace's spans.
+// result maps services back to pods and nodes via the trace's spans. The
+// services slice is not modified: the sorted Services field is a copy, so
+// callers' slices (the loop's `used` accumulation order in particular)
+// stay intact.
 func (l *Localizer) result(tr *trace.Trace, services []string, normalized bool, dur float64) Result {
 	svcSet := make(map[string]bool, len(services))
 	for _, s := range services {
@@ -314,9 +422,10 @@ func (l *Localizer) result(tr *trace.Trace, services []string, normalized bool, 
 			}
 		}
 	}
-	sort.Strings(services)
+	sorted := append([]string(nil), services...)
+	sort.Strings(sorted)
 	return Result{
-		Services:          services,
+		Services:          sorted,
 		Pods:              sortedKeys(podSet),
 		Nodes:             sortedKeys(nodeSet),
 		Normalized:        normalized,

@@ -21,9 +21,16 @@ type fixture struct {
 	slo   float64
 }
 
-func newFixture(t *testing.T, seed uint64) *fixture {
+func newFixture(t testing.TB, seed uint64) *fixture {
 	t.Helper()
-	app := synth.Synthetic(16, seed)
+	return newFixtureSized(t, seed, 16)
+}
+
+// newFixtureSized builds the fixture against a synthetic app of the given
+// RPC count (benchmarks sweep the app scale).
+func newFixtureSized(t testing.TB, seed uint64, rpcs int) *fixture {
+	t.Helper()
+	app := synth.Synthetic(rpcs, seed)
 	s := sim.New(app, sim.DefaultOptions(seed))
 	normalRes, err := s.Run(0, 80)
 	if err != nil {
@@ -60,7 +67,7 @@ func newFixture(t *testing.T, seed uint64) *fixture {
 }
 
 // anomalousSample finds a request materially affected by the plan.
-func (f *fixture) anomalousSample(t *testing.T, plan *chaos.Plan, want string) *sim.Sample {
+func (f *fixture) anomalousSample(t testing.TB, plan *chaos.Plan, want string) *sim.Sample {
 	t.Helper()
 	for id := 0; id < 80; id++ {
 		sample, err := f.sim.SimulateWithTruth(id, plan)

@@ -399,6 +399,29 @@ func AddMM(x, w, bias *Tensor) *Tensor { return addmm(opAddMM, x, w, bias) }
 // kernels.
 func AddMMReLU(x, w, bias *Tensor) *Tensor { return addmm(opAddMMReLU, x, w, bias) }
 
+// AddMMRowInto computes one row of an AddMM (optionally fused-ReLU) into a
+// caller-owned buffer without building a tape node: dst = xRow·w + bias,
+// clamped at zero when relu is set. It runs the exact kernel addmm runs
+// for that row — bias copy, then the unrolled matmulAcc with m=1, then the
+// ReLU clamp — so the result is bit-identical to the corresponding row of
+// the full-matrix op. This is the inference primitive behind incremental
+// GNN forwards, which recompute only the rows whose inputs changed.
+func AddMMRowInto(dst, xRow []float64, w, bias *Tensor, relu bool) {
+	k, n := w.Rows(), w.Cols()
+	if len(xRow) != k || len(dst) != n || bias.Numel() != n {
+		panic("tensor: AddMMRowInto shape mismatch")
+	}
+	copy(dst, bias.Data)
+	matmulAcc(dst, xRow, w.Data, 1, k, n)
+	if relu {
+		for i, v := range dst {
+			if v < 0 {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
 func addmm(kind opKind, x, w, bias *Tensor) *Tensor {
 	m, k := x.Rows(), x.Cols()
 	k2, n := w.Rows(), w.Cols()

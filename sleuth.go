@@ -285,6 +285,13 @@ type Diagnosis struct {
 	Services []string
 	Pods     []string
 	Nodes    []string
+	// PrunedCandidates counts candidates the localiser's pruning stage
+	// cut before the counterfactual loop for this diagnosis's query.
+	PrunedCandidates int
+	// Pruning is the per-candidate kept/cut audit trail (rule, statistic,
+	// threshold), recorded only when the localiser's Explain option is on
+	// — the evidence behind `sleuthctl rca -explain`.
+	Pruning []rca.PruneDecision
 }
 
 // Report is the outcome of Analyze.
@@ -342,11 +349,13 @@ func (a *Analyzer) Analyze(anomalous []*Trace) *Report {
 				res := a.Localizer.LocalizeDetailed(tr, a.sloFor(tr))
 				report.Inferences++
 				report.Diagnoses = append(report.Diagnoses, Diagnosis{
-					ClusterID: -1,
-					TraceIDs:  []string{tr.TraceID},
-					Services:  res.Services,
-					Pods:      res.Pods,
-					Nodes:     res.Nodes,
+					ClusterID:        -1,
+					TraceIDs:         []string{tr.TraceID},
+					Services:         res.Services,
+					Pods:             res.Pods,
+					Nodes:            res.Nodes,
+					PrunedCandidates: res.PrunedCandidates,
+					Pruning:          res.Pruning,
 				})
 			}
 			continue
@@ -354,7 +363,10 @@ func (a *Analyzer) Analyze(anomalous []*Trace) *Report {
 		medoid := anomalous[medoids[l]]
 		res := a.Localizer.LocalizeDetailed(medoid, a.sloFor(medoid))
 		report.Inferences++
-		d := Diagnosis{ClusterID: l, Services: res.Services, Pods: res.Pods, Nodes: res.Nodes}
+		d := Diagnosis{
+			ClusterID: l, Services: res.Services, Pods: res.Pods, Nodes: res.Nodes,
+			PrunedCandidates: res.PrunedCandidates, Pruning: res.Pruning,
+		}
 		for _, i := range members[l] {
 			d.TraceIDs = append(d.TraceIDs, anomalous[i].TraceID)
 		}
